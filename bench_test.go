@@ -1,0 +1,210 @@
+package tafloc_test
+
+import (
+	"testing"
+
+	"tafloc"
+)
+
+// Benchmarks regenerating the paper's evaluation. Each Benchmark*
+// corresponds to one figure or in-text table; run
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the paper-vs-measured record. The figure
+// benches measure the wall-clock of one full harness run (deployment,
+// surveys, reconstruction, evaluation), which is the relevant cost for a
+// user regenerating the results.
+
+func benchConfig() tafloc.ExperimentConfig {
+	cfg := tafloc.DefaultExperimentConfig()
+	cfg.TestTargets = 30
+	cfg.LiveWindow = 6
+	return cfg
+}
+
+// BenchmarkFig1MatrixProperties regenerates Fig 1's matrix-structure
+// characterization (singular spectrum, distorted share).
+func BenchmarkFig1MatrixProperties(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := tafloc.Fig1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3ReconstructionError regenerates Fig 3: fingerprint
+// reconstruction error CDFs at 3 d / 15 d / 45 d / 3 months.
+func BenchmarkFig3ReconstructionError(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := tafloc.Fig3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4UpdateTimeCost regenerates Fig 4: update time cost vs
+// area size, 6-36 m edges.
+func BenchmarkFig4UpdateTimeCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := tafloc.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5LocalizationComparison regenerates Fig 5: the four-system
+// localization comparison at 3 months.
+func BenchmarkFig5LocalizationComparison(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := tafloc.Fig5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDriftCalibration regenerates the in-text drift table
+// (2.5 dBm @ 5 d, 6 dBm @ 45 d).
+func BenchmarkDriftCalibration(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := tafloc.DriftTable(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCostTable regenerates the in-text 6 m x 6 m cost arithmetic
+// (2.78 h vs 0.28 h).
+func BenchmarkCostTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := tafloc.CostTable(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDesignChoices regenerates the LoLi-IR design-choice
+// ablation (term drops, reference and rank sweeps).
+func BenchmarkAblationDesignChoices(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := tafloc.Ablation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Component micro-benchmarks ----
+
+// BenchmarkLoLiIRReconstruction measures one LoLi-IR update on the paper
+// deployment: the latency of TafLoc's fingerprint refresh.
+func BenchmarkLoLiIRReconstruction(b *testing.B) {
+	dep, err := tafloc.NewDeployment(tafloc.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := tafloc.BuildSystem(dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refCols, _ := dep.SurveyCells(sys.References(), 45)
+	vacant := dep.VacantCapture(45, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Update(refCols, vacant); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocate measures one localization against the paper database.
+func BenchmarkLocate(b *testing.B) {
+	dep, err := tafloc.NewDeployment(tafloc.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := tafloc.BuildSystem(dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := dep.Channel.MeasureLive(tafloc.Point{X: 3.3, Y: 2.1}, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Locate(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReferenceSelection measures rank-revealing-QR reference
+// selection on the paper fingerprint matrix.
+func BenchmarkReferenceSelection(b *testing.B) {
+	dep, err := tafloc.NewDeployment(tafloc.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := dep.Channel.TrueFingerprint(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tafloc.SelectReferences(x, tafloc.DefaultReferenceOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRTILocate measures one RTI imaging localization.
+func BenchmarkRTILocate(b *testing.B) {
+	dep, err := tafloc.NewDeployment(tafloc.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := tafloc.NewRTIImager(dep.Channel.Links(), dep.Grid, tafloc.DefaultRTIOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	vac := dep.Channel.TrueVacant(0)
+	y := dep.Channel.MeasureLive(tafloc.Point{X: 3.3, Y: 2.1}, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := im.Locate(vac, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRASSLocate measures one RASS localization.
+func BenchmarkRASSLocate(b *testing.B) {
+	dep, err := tafloc.NewDeployment(tafloc.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	vac := dep.Channel.TrueVacant(0)
+	tr, err := tafloc.NewRASSTracker(dep.Channel.TrueFingerprint(0), vac, dep.Grid, tafloc.DefaultRASSOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := dep.Channel.MeasureLive(tafloc.Point{X: 3.3, Y: 2.1}, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Locate(y, vac); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullSurvey measures the simulated day-0 survey (the expensive
+// pass TafLoc amortizes).
+func BenchmarkFullSurvey(b *testing.B) {
+	dep, err := tafloc.NewDeployment(tafloc.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dep.Survey(0)
+	}
+}

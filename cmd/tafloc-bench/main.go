@@ -1,0 +1,79 @@
+// Command tafloc-bench regenerates every table and figure of the paper's
+// evaluation on stdout.
+//
+// Usage:
+//
+//	tafloc-bench                 # everything
+//	tafloc-bench -fig 3          # one figure (1, 3, 4, 5)
+//	tafloc-bench -fig drift      # in-text drift table
+//	tafloc-bench -fig cost       # in-text cost table
+//	tafloc-bench -fig ablation   # design-choice ablation
+//	tafloc-bench -seed 9 -targets 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tafloc"
+)
+
+func main() {
+	log.SetFlags(0)
+	fig := flag.String("fig", "all", "which result to regenerate: 1, 3, 4, 5, drift, cost, ablation, all")
+	seed := flag.Uint64("seed", 7, "harness seed (test-target placement)")
+	targets := flag.Int("targets", 60, "number of Fig 5 evaluation targets")
+	window := flag.Int("window", 10, "live samples averaged per localization")
+	flag.Parse()
+
+	cfg := tafloc.DefaultExperimentConfig()
+	cfg.Seed = *seed
+	cfg.TestTargets = *targets
+	cfg.LiveWindow = *window
+
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println()
+	}
+
+	run("1", func() error { return printFig(tafloc.Fig1(cfg)) })
+	run("drift", func() error { return printTable(tafloc.DriftTable(cfg)) })
+	run("cost", func() error { return printTable(tafloc.CostTable()) })
+	run("3", func() error { return printFig(tafloc.Fig3(cfg)) })
+	run("4", func() error { return printFig(tafloc.Fig4()) })
+	run("5", func() error { return printFig(tafloc.Fig5(cfg)) })
+	run("ablation", func() error { return printTable(tafloc.Ablation(cfg)) })
+
+	if *fig != "all" {
+		switch *fig {
+		case "1", "3", "4", "5", "drift", "cost", "ablation":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+}
+
+func printFig(f *tafloc.Figure, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Print(f.Render())
+	return nil
+}
+
+func printTable(t *tafloc.Table, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Print(t.Render())
+	return nil
+}

@@ -1,0 +1,75 @@
+// Command quickstart walks the full TafLoc lifecycle on the paper's
+// deployment: day-0 survey, three months of environmental drift, a
+// low-cost fingerprint update from 10-ish reference locations, and a
+// localization before/after comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tafloc"
+)
+
+func main() {
+	// 1. Deploy the paper testbed: 96 cells of 0.6 m, 10 links.
+	dep, err := tafloc.NewDeployment(tafloc.PaperConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployment: %d links over %d cells (%gm x %gm)\n",
+		dep.Channel.M(), dep.Grid.Cells(), dep.Grid.Width, dep.Grid.Height)
+
+	// 2. Day-0 full survey builds the system (the one expensive pass).
+	sys, err := tafloc.BuildSystem(dep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := dep.FullSurveyCost()
+	fmt.Printf("day-0 survey: %d cells, %.2f hours\n", full.CellsVisited, full.Hours())
+	fmt.Printf("reference locations selected: %v\n", sys.References())
+
+	// 3. Three months later the RSS has drifted. Localizing with the
+	// stale database degrades.
+	const days = 90
+	target := tafloc.Point{X: 4.5, Y: 2.7}
+	y := liveWindow(dep, target, days, 10)
+	locStale, err := sys.Locate(y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter %d days, stale-database estimate: %v (error %.2f m)\n",
+		days, locStale.Point, locStale.Point.Dist(target))
+
+	// 4. TafLoc update: survey only the reference cells plus one vacant
+	// capture, then reconstruct the whole database with LoLi-IR.
+	refCols, cost := dep.SurveyCells(sys.References(), days)
+	rec, err := sys.Update(refCols, dep.VacantCapture(days, 100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTafLoc update: %d cells surveyed, %.2f hours (%.0fx cheaper)\n",
+		cost.CellsVisited, cost.Hours(), full.Hours()/cost.Hours())
+	fmt.Printf("LoLi-IR: rank %d, %d iterations, converged=%v\n",
+		rec.Rank, rec.Iterations, rec.Converged)
+
+	// 5. Localize again with the refreshed database.
+	locFresh, err := sys.Locate(y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nupdated-database estimate: %v (error %.2f m)\n",
+		locFresh.Point, locFresh.Point.Dist(target))
+}
+
+// liveWindow averages win noisy live samples, as a tracker would.
+func liveWindow(dep *tafloc.Deployment, p tafloc.Point, days float64, win int) []float64 {
+	y := make([]float64, dep.Channel.M())
+	for s := 0; s < win; s++ {
+		one := dep.Channel.MeasureLive(p, days)
+		for i := range y {
+			y[i] += one[i] / float64(win)
+		}
+	}
+	return y
+}

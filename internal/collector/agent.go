@@ -1,0 +1,173 @@
+package collector
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tafloc/internal/geom"
+	"tafloc/internal/rf"
+	"tafloc/internal/wire"
+)
+
+// TargetFunc reports the current target position, or ok=false when the
+// room is vacant. Agents sample it before every report, so a moving
+// target is observed consistently across links.
+type TargetFunc func() (p geom.Point, ok bool)
+
+// AgentConfig configures a fleet of link agents.
+type AgentConfig struct {
+	// Interval between reports per link (the paper samples at 1 Hz; tests
+	// accelerate this).
+	Interval time.Duration
+	// Days is the simulated age of the environment.
+	Days float64
+	// Target provides the target position; nil means always vacant.
+	Target TargetFunc
+}
+
+// Fleet runs one sending goroutine per link of a channel, streaming RSS
+// report frames to a collector's UDP address. It is the simulation stand-
+// in for the per-node firmware of the paper's testbed.
+type Fleet struct {
+	ch   *rf.Channel
+	cfg  AgentConfig
+	conn *net.UDPConn
+	wg   sync.WaitGroup
+
+	mu   sync.Mutex
+	seqs []uint32
+}
+
+// NewFleet dials the collector's UDP address and prepares agents for
+// every link of ch.
+func NewFleet(ch *rf.Channel, dataAddr string, cfg AgentConfig) (*Fleet, error) {
+	if ch == nil {
+		return nil, fmt.Errorf("collector: nil channel")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	ua, err := net.ResolveUDPAddr("udp", dataAddr)
+	if err != nil {
+		return nil, fmt.Errorf("collector: resolve data addr: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("collector: dial data plane: %w", err)
+	}
+	return &Fleet{
+		ch:   ch,
+		cfg:  cfg,
+		conn: conn,
+		seqs: make([]uint32, ch.M()),
+	}, nil
+}
+
+// Run starts all agents and blocks until ctx is cancelled.
+func (f *Fleet) Run(ctx context.Context) {
+	for link := 0; link < f.ch.M(); link++ {
+		f.wg.Add(1)
+		go func(link int) {
+			defer f.wg.Done()
+			ticker := time.NewTicker(f.cfg.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					f.sendOne(link)
+				}
+			}
+		}(link)
+	}
+	f.wg.Wait()
+	f.conn.Close()
+}
+
+// sendOne samples the channel and transmits one frame. Send errors are
+// dropped silently: UDP loss is part of the model and the store's
+// sequence tracking tolerates it.
+func (f *Fleet) sendOne(link int) {
+	var rss float64
+	var flags uint8
+	var p geom.Point
+	var present bool
+	if f.cfg.Target != nil {
+		p, present = f.cfg.Target()
+	}
+	f.mu.Lock()
+	f.seqs[link]++
+	seq := f.seqs[link]
+	if present {
+		rss = f.ch.SampleTarget(link, p, f.cfg.Days)
+	} else {
+		rss = f.ch.SampleVacant(link, f.cfg.Days)
+		flags |= wire.FlagVacant
+	}
+	f.mu.Unlock()
+	r := wire.RSSReport{
+		Flags:  flags,
+		LinkID: uint16(link),
+		Seq:    seq,
+		Time:   time.Now(),
+	}
+	r.SetRSS(rss)
+	_, _ = f.conn.Write(r.Encode())
+}
+
+// Orchestrator drives survey passes and captures over the control plane.
+type Orchestrator struct {
+	cc   *wire.ControlConn
+	conn net.Conn
+}
+
+// Dial connects to a collector's control address.
+func Dial(ctrlAddr string) (*Orchestrator, error) {
+	conn, err := net.Dial("tcp", ctrlAddr)
+	if err != nil {
+		return nil, fmt.Errorf("collector: dial control: %w", err)
+	}
+	return &Orchestrator{cc: wire.NewControlConn(conn), conn: conn}, nil
+}
+
+// Close closes the control connection.
+func (o *Orchestrator) Close() error { return o.conn.Close() }
+
+func (o *Orchestrator) roundTrip(msg wire.ControlMessage) error {
+	if err := o.cc.Send(msg); err != nil {
+		return err
+	}
+	reply, err := o.cc.Recv()
+	if err != nil {
+		return err
+	}
+	if reply.Type != wire.MsgAck {
+		return fmt.Errorf("collector: control error: %s", reply.Detail)
+	}
+	return nil
+}
+
+// StartSurvey begins survey accumulation for cell.
+func (o *Orchestrator) StartSurvey(cell, samples int) error {
+	return o.roundTrip(wire.ControlMessage{Type: wire.MsgStartSurvey, Cell: cell, Samples: samples})
+}
+
+// StopSurvey ends the current pass.
+func (o *Orchestrator) StopSurvey() error {
+	return o.roundTrip(wire.ControlMessage{Type: wire.MsgStopSurvey})
+}
+
+// StartVacant begins vacant accumulation.
+func (o *Orchestrator) StartVacant(samples int) error {
+	return o.roundTrip(wire.ControlMessage{Type: wire.MsgVacantCapture, Samples: samples})
+}
+
+// Snapshot asks the collector for its counters (returned via error
+// detail on failure; success means the collector is healthy).
+func (o *Orchestrator) Snapshot() error {
+	return o.roundTrip(wire.ControlMessage{Type: wire.MsgSnapshot})
+}

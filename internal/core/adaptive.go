@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// DriftMonitor implements the time-adaptive part of TafLoc: instead of
+// refreshing the fingerprint database on a fixed calendar, it watches
+// cheap signals — periodic vacant captures and occasional spot checks at
+// a single reference location — and recommends an update only when the
+// observed drift would degrade localization.
+//
+// The monitor is deliberately conservative about cost: a vacant capture
+// needs no surveyor at all, and a single-cell spot check costs 100
+// seconds, so both can run daily while the full reference survey
+// (~0.3 h) runs only when triggered.
+type DriftMonitor struct {
+	// TriggerDB is the mean absolute drift (dB) at which an update is
+	// recommended. The paper's Fig 3 shows reconstructions stay reliable
+	// while drift is within the noise band (1-4 dBm); the default 2.5
+	// matches the 5-day drift anchor.
+	TriggerDB float64
+
+	baseVacant []float64
+	baseSpot   []float64 // fingerprint column at the spot-check cell
+	spotCell   int
+}
+
+// NewDriftMonitor builds a monitor from the baselines captured at the
+// last update: the vacant vector and the fingerprint column at one
+// reference cell (pass nil to monitor vacant drift only). triggerDB <= 0
+// defaults to 2.5 dB.
+func NewDriftMonitor(vacant []float64, spotCol []float64, spotCell int, triggerDB float64) (*DriftMonitor, error) {
+	if len(vacant) == 0 {
+		return nil, fmt.Errorf("core: empty vacant baseline")
+	}
+	if spotCol != nil && len(spotCol) != len(vacant) {
+		return nil, fmt.Errorf("core: spot column length %d != links %d", len(spotCol), len(vacant))
+	}
+	if triggerDB <= 0 {
+		triggerDB = 2.5
+	}
+	m := &DriftMonitor{
+		TriggerDB:  triggerDB,
+		baseVacant: append([]float64(nil), vacant...),
+		spotCell:   spotCell,
+	}
+	if spotCol != nil {
+		m.baseSpot = append([]float64(nil), spotCol...)
+	}
+	return m, nil
+}
+
+// SpotCell returns the cell the monitor expects spot checks at.
+func (m *DriftMonitor) SpotCell() int { return m.spotCell }
+
+// DriftEstimate is the monitor's assessment of one check.
+type DriftEstimate struct {
+	// VacantDriftDB is the mean absolute vacant-RSS change since the
+	// last update.
+	VacantDriftDB float64
+	// SpotDriftDB is the mean absolute change of the spot-check column
+	// (NaN when no spot measurement was provided).
+	SpotDriftDB float64
+	// UpdateRecommended is true when either signal crosses the trigger.
+	UpdateRecommended bool
+}
+
+// Check assesses fresh measurements against the stored baselines.
+// vacant is required; spotCol may be nil to skip the spot signal.
+func (m *DriftMonitor) Check(vacant, spotCol []float64) (DriftEstimate, error) {
+	if len(vacant) != len(m.baseVacant) {
+		return DriftEstimate{}, fmt.Errorf("core: vacant length %d != %d", len(vacant), len(m.baseVacant))
+	}
+	est := DriftEstimate{SpotDriftDB: math.NaN()}
+	var sum float64
+	for i := range vacant {
+		sum += math.Abs(vacant[i] - m.baseVacant[i])
+	}
+	est.VacantDriftDB = sum / float64(len(vacant))
+
+	if spotCol != nil {
+		if m.baseSpot == nil {
+			return DriftEstimate{}, fmt.Errorf("core: monitor has no spot baseline")
+		}
+		if len(spotCol) != len(m.baseSpot) {
+			return DriftEstimate{}, fmt.Errorf("core: spot column length %d != %d", len(spotCol), len(m.baseSpot))
+		}
+		sum = 0
+		for i := range spotCol {
+			sum += math.Abs(spotCol[i] - m.baseSpot[i])
+		}
+		est.SpotDriftDB = sum / float64(len(spotCol))
+	}
+
+	est.UpdateRecommended = est.VacantDriftDB > m.TriggerDB ||
+		(!math.IsNaN(est.SpotDriftDB) && est.SpotDriftDB > m.TriggerDB)
+	return est, nil
+}
+
+// Rebase replaces the baselines after an update completed.
+func (m *DriftMonitor) Rebase(vacant, spotCol []float64) error {
+	if len(vacant) != len(m.baseVacant) {
+		return fmt.Errorf("core: vacant length %d != %d", len(vacant), len(m.baseVacant))
+	}
+	copy(m.baseVacant, vacant)
+	if spotCol != nil {
+		if len(spotCol) != len(m.baseVacant) {
+			return fmt.Errorf("core: spot column length %d != %d", len(spotCol), len(m.baseVacant))
+		}
+		if m.baseSpot == nil {
+			m.baseSpot = make([]float64, len(spotCol))
+		}
+		copy(m.baseSpot, spotCol)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tafloc/internal/testbed"
+)
+
+func TestNewDriftMonitorValidation(t *testing.T) {
+	if _, err := NewDriftMonitor(nil, nil, 0, 1); err == nil {
+		t.Fatal("empty vacant accepted")
+	}
+	if _, err := NewDriftMonitor([]float64{1, 2}, []float64{1}, 0, 1); err == nil {
+		t.Fatal("mismatched spot column accepted")
+	}
+	m, err := NewDriftMonitor([]float64{1, 2}, nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TriggerDB != 2.5 {
+		t.Fatalf("default trigger %g, want 2.5", m.TriggerDB)
+	}
+}
+
+func TestDriftMonitorNoDriftNoTrigger(t *testing.T) {
+	vac := []float64{-50, -52, -48}
+	m, err := NewDriftMonitor(vac, nil, 0, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.Check(vac, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.UpdateRecommended || est.VacantDriftDB != 0 {
+		t.Fatalf("no-drift check triggered: %+v", est)
+	}
+	if !math.IsNaN(est.SpotDriftDB) {
+		t.Fatal("spot drift should be NaN without a spot measurement")
+	}
+}
+
+func TestDriftMonitorTriggersOnVacantDrift(t *testing.T) {
+	vac := []float64{-50, -52, -48}
+	m, _ := NewDriftMonitor(vac, nil, 0, 2.0)
+	drifted := []float64{-53, -55, -51}
+	est, err := m.Check(drifted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.UpdateRecommended {
+		t.Fatalf("3 dB drift not flagged: %+v", est)
+	}
+	if math.Abs(est.VacantDriftDB-3) > 1e-12 {
+		t.Fatalf("drift estimate %g, want 3", est.VacantDriftDB)
+	}
+}
+
+func TestDriftMonitorSpotSignal(t *testing.T) {
+	vac := []float64{-50, -52}
+	spot := []float64{-55, -60}
+	m, err := NewDriftMonitor(vac, spot, 7, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SpotCell() != 7 {
+		t.Fatalf("SpotCell = %d", m.SpotCell())
+	}
+	// Vacant is stable but the spot column moved: the target-affected
+	// structure drifted even though the baseline did not.
+	est, err := m.Check(vac, []float64{-58, -63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.UpdateRecommended || math.Abs(est.SpotDriftDB-3) > 1e-12 {
+		t.Fatalf("spot drift not flagged: %+v", est)
+	}
+	// Checking a spot column without a baseline errors.
+	m2, _ := NewDriftMonitor(vac, nil, 0, 2.0)
+	if _, err := m2.Check(vac, spot); err == nil {
+		t.Fatal("spot check without baseline accepted")
+	}
+}
+
+func TestDriftMonitorRebase(t *testing.T) {
+	vac := []float64{-50, -52}
+	m, _ := NewDriftMonitor(vac, []float64{-55, -60}, 3, 2.0)
+	newVac := []float64{-53, -55}
+	newSpot := []float64{-58, -64}
+	if err := m.Rebase(newVac, newSpot); err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.Check(newVac, newSpot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.UpdateRecommended {
+		t.Fatalf("rebased monitor still triggered: %+v", est)
+	}
+	if err := m.Rebase(newVac[:1], nil); err == nil {
+		t.Fatal("bad rebase length accepted")
+	}
+}
+
+func TestDriftMonitorEndToEndSchedule(t *testing.T) {
+	// Against the simulated channel, the monitor must stay quiet in the
+	// first days and trigger within the month (drift crosses 2.5 dB at
+	// ~5 days by calibration).
+	dep, err := testbed.New(testbed.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vac0 := dep.VacantCapture(0, 100)
+	spotCell := dep.Grid.Cells() / 2
+	spot0, _ := dep.SurveyCells([]int{spotCell}, 0)
+	m, err := NewDriftMonitor(vac0, spot0.Col(0), spotCell, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triggerDay := -1
+	for _, day := range []float64{1, 2, 3, 5, 8, 13, 21, 34} {
+		spot, _ := dep.SurveyCells([]int{spotCell}, day)
+		est, err := m.Check(dep.VacantCapture(day, 100), spot.Col(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.UpdateRecommended {
+			triggerDay = int(day)
+			break
+		}
+	}
+	if triggerDay < 0 {
+		t.Fatal("monitor never triggered within 34 days of drift")
+	}
+	if triggerDay < 2 {
+		t.Fatalf("monitor triggered on day %d, too eager", triggerDay)
+	}
+	t.Logf("time-adaptive trigger fired on day %d", triggerDay)
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tafloc/internal/mat"
+)
+
+// LoLiOptions are the hyperparameters of the LoLi-IR reconstruction
+// algorithm (the paper's alternating iterative solver over the low-rank
+// factors L and R, hence "Low-rank / Linear-representation Iterative
+// Reconstruction").
+type LoLiOptions struct {
+	// Rank is the factorization rank r. Zero lets the solver pick the
+	// energy rank of the initializer (clamped to [2, n]).
+	Rank int
+	// Lambda is the Tikhonov weight on ‖L‖²+‖R‖² (the rank surrogate).
+	Lambda float64
+	// Alpha weights the linear-representation term ‖X̂ - X_R·Z‖².
+	Alpha float64
+	// Beta weights the along-link continuity term (G).
+	Beta float64
+	// Gamma weights the adjacent-link similarity term (H).
+	Gamma float64
+	// Mu is the ridge used in the closed-form Z update.
+	Mu float64
+	// MaxIter bounds the outer alternations; Tol stops early when the
+	// relative objective decrease falls below it.
+	MaxIter int
+	Tol     float64
+	// CGTol and CGMaxIter control the inner conjugate-gradient solves.
+	CGTol     float64
+	CGMaxIter int
+}
+
+// DefaultLoLiOptions returns the hyperparameters used in the
+// reproduction's experiments.
+func DefaultLoLiOptions() LoLiOptions {
+	return LoLiOptions{
+		Rank:      0,
+		Lambda:    0.05,
+		Alpha:     0.6,
+		Beta:      0.35,
+		Gamma:     0.15,
+		Mu:        1e-2,
+		MaxIter:   40,
+		Tol:       1e-5,
+		CGTol:     1e-7,
+		CGMaxIter: 120,
+	}
+}
+
+// Validate reports the first invalid option, or nil.
+func (o LoLiOptions) Validate() error {
+	switch {
+	case o.Lambda < 0 || o.Alpha < 0 || o.Beta < 0 || o.Gamma < 0 || o.Mu < 0:
+		return fmt.Errorf("core: LoLi weights must be non-negative")
+	case o.Rank < 0:
+		return fmt.Errorf("core: negative rank %d", o.Rank)
+	case o.Lambda == 0 && o.Alpha == 0:
+		return fmt.Errorf("core: need Lambda or Alpha positive for a well-posed problem")
+	}
+	return nil
+}
+
+// UpdateInput bundles the cheap measurements a TafLoc update consumes.
+type UpdateInput struct {
+	// RefIdx are the reference cell indices (ascending, distinct).
+	RefIdx []int
+	// RefCols is M x len(RefIdx): freshly measured fingerprint columns at
+	// the reference locations.
+	RefCols *mat.Matrix
+	// Vacant is the fresh empty-room RSS per link (length M), filling the
+	// undistorted entries.
+	Vacant []float64
+}
+
+// Validate checks the input against a layout.
+func (u UpdateInput) Validate(l *Layout) error {
+	if len(u.RefIdx) == 0 {
+		return fmt.Errorf("core: no reference locations")
+	}
+	if u.RefCols == nil || u.RefCols.Rows() != l.M() || u.RefCols.Cols() != len(u.RefIdx) {
+		return fmt.Errorf("core: RefCols must be %dx%d", l.M(), len(u.RefIdx))
+	}
+	if len(u.Vacant) != l.M() {
+		return fmt.Errorf("core: Vacant must have length %d, got %d", l.M(), len(u.Vacant))
+	}
+	seen := make(map[int]bool)
+	for _, j := range u.RefIdx {
+		if j < 0 || j >= l.N() {
+			return fmt.Errorf("core: reference cell %d out of range %d", j, l.N())
+		}
+		if seen[j] {
+			return fmt.Errorf("core: duplicate reference cell %d", j)
+		}
+		seen[j] = true
+	}
+	return nil
+}
+
+// Reconstruction is the result of one LoLi-IR run.
+type Reconstruction struct {
+	// X is the reconstructed M x N fingerprint matrix.
+	X *mat.Matrix
+	// Observed marks which entries of X were measured (1) rather than
+	// inferred (0): the undistorted entries plus the reference columns.
+	// Matchers use it to weight trusted entries above reconstructed ones.
+	Observed *mat.Matrix
+	// Rank is the factorization rank used.
+	Rank int
+	// Iterations is the number of outer alternations performed.
+	Iterations int
+	// Objective traces the objective value after every iteration.
+	Objective []float64
+	// Converged reports whether the relative-decrease tolerance was met.
+	Converged bool
+}
+
+// Reconstructor runs LoLi-IR for one layout, reusing the precomputed mask
+// and smoothness structure across updates.
+type Reconstructor struct {
+	layout   *Layout
+	opts     LoLiOptions
+	mask     *mat.Matrix
+	smoother *Smoother
+}
+
+// NewReconstructor builds a Reconstructor with the layout's geometric
+// mask. Prefer NewReconstructorWithMask when a day-0 survey allows
+// learning the mask empirically (MaskFromSurvey).
+func NewReconstructor(l *Layout, opts LoLiOptions) (*Reconstructor, error) {
+	return NewReconstructorWithMask(l, l.Mask(), opts)
+}
+
+// NewReconstructorWithMask builds a Reconstructor over an explicit
+// undistorted-entry mask (1 = undistorted).
+func NewReconstructorWithMask(l *Layout, mask *mat.Matrix, opts LoLiOptions) (*Reconstructor, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if mask == nil || mask.Rows() != l.M() || mask.Cols() != l.N() {
+		return nil, fmt.Errorf("core: mask must be %dx%d", l.M(), l.N())
+	}
+	return &Reconstructor{
+		layout:   l,
+		opts:     opts,
+		mask:     mask.Clone(),
+		smoother: NewSmootherFromMask(mask, l.Grid),
+	}, nil
+}
+
+// Mask returns the undistorted-entry mask in use (not a copy; treat as
+// read-only).
+func (rc *Reconstructor) Mask() *mat.Matrix { return rc.mask }
+
+// Layout returns the layout the reconstructor was built for.
+func (rc *Reconstructor) Layout() *Layout { return rc.layout }
+
+// Reconstruct runs LoLi-IR on the given update measurements and returns
+// the reconstructed fingerprint matrix.
+//
+// The observation set is the union of (a) undistorted entries, valued at
+// the fresh vacant capture, and (b) every entry of the reference columns.
+// The solver alternates: closed-form ridge update of the correlation
+// matrix Z, then conjugate-gradient solves of the two factor subproblems.
+//
+// Implementation note: internally the solver works in attenuation space,
+// A = vacant·1ᵀ - X. The affine shift leaves the paper's objective
+// unchanged (every term is translation-covariant once X_I and X_R are
+// shifted identically) but removes the large shared baseline, so the
+// low-rank structure the factorization captures is the target-induced
+// distortion pattern itself rather than a rank-1 baseline that would
+// otherwise dominate the spectrum and defeat rank selection.
+func (rc *Reconstructor) Reconstruct(in UpdateInput) (*Reconstruction, error) {
+	l := rc.layout
+	if err := in.Validate(l); err != nil {
+		return nil, err
+	}
+	m, n := l.M(), l.N()
+	o := rc.opts
+
+	// Observation mask and values, in attenuation space: undistorted
+	// entries observe zero attenuation; reference columns observe
+	// vacant - measured.
+	obs := rc.mask.Clone() // 1 = observed
+	xi := mat.New(m, n)
+	for k, j := range in.RefIdx {
+		for i := 0; i < m; i++ {
+			obs.Set(i, j, 1)
+			xi.Set(i, j, in.Vacant[i]-in.RefCols.At(i, k))
+		}
+	}
+
+	// Reference matrix in attenuation space.
+	xr := mat.New(m, len(in.RefIdx))
+	for k := range in.RefIdx {
+		for i := 0; i < m; i++ {
+			xr.Set(i, k, in.Vacant[i]-in.RefCols.At(i, k))
+		}
+	}
+
+	// ---- Initialization ----
+	// Fill unobserved entries per column by ridge regression of the
+	// observed rows onto the reference columns, then truncate by SVD.
+	x0 := rc.initialize(obs, xi, xr)
+	svd := mat.SVDecompose(x0)
+	rank := o.Rank
+	if rank <= 0 {
+		// In attenuation space the spectrum directly reflects the
+		// distortion structure, so a high energy fraction recovers the
+		// true rank; keep one slack dimension for drift.
+		rank = svd.EnergyRank(0.995) + 1
+		if rank < 2 {
+			rank = 2
+		}
+	}
+	maxRank := len(svd.S)
+	if rank > maxRank {
+		rank = maxRank
+	}
+	lf, rf := svd.Truncate(rank)
+
+	// Initial Z against the initial estimate.
+	z, err := mat.RidgeSolve(xr, mat.MulT(lf, rf), o.Mu)
+	if err != nil {
+		return nil, fmt.Errorf("core: initial Z solve: %w", err)
+	}
+
+	maxIter := o.MaxIter
+	if maxIter <= 0 {
+		maxIter = 40
+	}
+	tol := o.Tol
+	if tol <= 0 {
+		tol = 1e-5
+	}
+
+	rec := &Reconstruction{Rank: rank}
+	prevObj := math.Inf(1)
+	for iter := 0; iter < maxIter; iter++ {
+		xrz := mat.Mul(xr, z)
+
+		// ---- L update: solve A_L(L) = b_L by CG ----
+		opL := mat.LinOpFunc(func(v *mat.Matrix) *mat.Matrix {
+			xh := mat.MulT(v, rf) // M x N
+			acc := mat.Hadamard(obs, xh)
+			mat.AXPY(acc, o.Alpha, xh)
+			if o.Beta > 0 {
+				mat.AXPY(acc, o.Beta, rc.smoother.ApplyG(xh))
+			}
+			if o.Gamma > 0 {
+				mat.AXPY(acc, o.Gamma, rc.smoother.ApplyH(xh))
+			}
+			out := mat.Mul(acc, rf) // M x r
+			mat.AXPY(out, o.Lambda, v)
+			return out
+		})
+		bL := mat.Mul(mat.Hadamard(obs, xi), rf)
+		mat.AXPY(bL, o.Alpha, mat.Mul(xrz, rf))
+		lf, _ = mat.CG(opL, bL, lf, o.CGTol, o.CGMaxIter)
+
+		// ---- R update: solve A_R(R) = b_R by CG (v is N x r, X̂ = L·vᵀ) ----
+		opR := mat.LinOpFunc(func(v *mat.Matrix) *mat.Matrix {
+			xh := mat.MulT(lf, v) // M x N
+			acc := mat.Hadamard(obs, xh)
+			mat.AXPY(acc, o.Alpha, xh)
+			if o.Beta > 0 {
+				mat.AXPY(acc, o.Beta, rc.smoother.ApplyG(xh))
+			}
+			if o.Gamma > 0 {
+				mat.AXPY(acc, o.Gamma, rc.smoother.ApplyH(xh))
+			}
+			out := mat.TMul(acc, lf) // N x r
+			mat.AXPY(out, o.Lambda, v)
+			return out
+		})
+		bR := mat.TMul(mat.Hadamard(obs, xi), lf)
+		mat.AXPY(bR, o.Alpha, mat.TMul(xrz, lf))
+		rf, _ = mat.CG(opR, bR, rf, o.CGTol, o.CGMaxIter)
+
+		// ---- Z update (closed form) ----
+		xhat := mat.MulT(lf, rf)
+		z, err = mat.RidgeSolve(xr, xhat, o.Mu)
+		if err != nil {
+			return nil, fmt.Errorf("core: Z solve at iter %d: %w", iter, err)
+		}
+
+		obj := rc.objective(lf, rf, obs, xi, mat.Mul(xr, z))
+		rec.Objective = append(rec.Objective, obj)
+		rec.Iterations = iter + 1
+		if prevObj-obj <= tol*math.Max(1, math.Abs(prevObj)) && iter > 0 {
+			rec.Converged = true
+			break
+		}
+		prevObj = obj
+	}
+
+	// Convert back to fingerprint space: X = vacant·1ᵀ - Â, clamping
+	// observed entries exactly — they were measured, not inferred.
+	ahat := mat.MulT(lf, rf)
+	xhat := mat.New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if obs.At(i, j) == 1 {
+				xhat.Set(i, j, in.Vacant[i]-xi.At(i, j))
+			} else {
+				xhat.Set(i, j, in.Vacant[i]-ahat.At(i, j))
+			}
+		}
+	}
+	rec.X = xhat
+	rec.Observed = obs
+	if !xhat.IsFinite() {
+		return nil, fmt.Errorf("core: reconstruction diverged to non-finite values")
+	}
+	return rec, nil
+}
+
+// initialize fills unobserved entries by per-column ridge regression onto
+// the reference columns using only that column's observed rows.
+func (rc *Reconstructor) initialize(obs, xi, xr *mat.Matrix) *mat.Matrix {
+	m, n := xi.Dims()
+	nr := xr.Cols()
+	out := xi.Clone()
+	for j := 0; j < n; j++ {
+		// Gather observed rows of column j.
+		var rows []int
+		for i := 0; i < m; i++ {
+			if obs.At(i, j) == 1 {
+				rows = append(rows, i)
+			}
+		}
+		if len(rows) == m {
+			continue // fully observed
+		}
+		var zj []float64
+		if len(rows) >= 1 {
+			a := mat.New(len(rows), nr)
+			b := make([]float64, len(rows))
+			for k, i := range rows {
+				for c := 0; c < nr; c++ {
+					a.Set(k, c, xr.At(i, c))
+				}
+				b[k] = xi.At(i, j)
+			}
+			bm := mat.New(len(rows), 1)
+			bm.SetCol(0, b)
+			if sol, err := mat.RidgeSolve(a, bm, 0.5); err == nil {
+				zj = sol.Col(0)
+			}
+		}
+		for i := 0; i < m; i++ {
+			if obs.At(i, j) == 1 {
+				continue
+			}
+			var v float64
+			if zj != nil {
+				for c := 0; c < nr; c++ {
+					v += xr.At(i, c) * zj[c]
+				}
+			} else {
+				// No observations in this column at all: fall back to the
+				// mean of the reference columns for this link.
+				for c := 0; c < nr; c++ {
+					v += xr.At(i, c)
+				}
+				v /= float64(nr)
+			}
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}
+
+// objective evaluates the full LoLi-IR objective.
+func (rc *Reconstructor) objective(lf, rf, obs, xi, xrz *mat.Matrix) float64 {
+	o := rc.opts
+	xhat := mat.MulT(lf, rf)
+	obj := o.Lambda * (mat.FrobNorm2(lf) + mat.FrobNorm2(rf))
+	diff := mat.Hadamard(obs, mat.Sub(xhat, xi))
+	obj += mat.FrobNorm2(diff)
+	obj += o.Alpha * mat.FrobNorm2(mat.Sub(xhat, xrz))
+	if o.Beta > 0 {
+		obj += o.Beta * rc.smoother.PenaltyG(xhat)
+	}
+	if o.Gamma > 0 {
+		obj += o.Gamma * rc.smoother.PenaltyH(xhat)
+	}
+	return obj
+}

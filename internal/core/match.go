@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tafloc/internal/geom"
+	"tafloc/internal/mat"
+)
+
+// Location is a localization estimate: the best-matching grid cell plus a
+// fine-grained continuous position refined from the k nearest fingerprint
+// columns.
+type Location struct {
+	// Cell is the best-matching grid cell index.
+	Cell int
+	// Point is the fine-grained position estimate in metres.
+	Point geom.Point
+	// Distance is the fingerprint-space distance to the winning column.
+	Distance float64
+	// Confidence is the probabilistic matcher's posterior mass of the
+	// winning cell (1 = certain); 0 when the matcher does not compute it.
+	Confidence float64
+}
+
+// Matcher compares a live measurement vector against a fingerprint
+// database and produces a location estimate. Implementations must be safe
+// for concurrent use after construction.
+type Matcher interface {
+	// Match locates the measurement vector y (length M) against the
+	// fingerprint matrix x (M x N) over the grid.
+	Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Location, error)
+}
+
+// NNMatcher is the plain nearest-neighbour matcher: the estimated
+// location is the cell whose fingerprint column is closest to y in
+// Euclidean distance.
+type NNMatcher struct{}
+
+// Match implements Matcher.
+func (NNMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Location, error) {
+	if err := checkMatch(x, grid, y); err != nil {
+		return Location{}, err
+	}
+	best, bestD := -1, math.Inf(1)
+	for j := 0; j < x.Cols(); j++ {
+		d := columnDist(x, j, y)
+		if d < bestD {
+			best, bestD = j, d
+		}
+	}
+	return Location{Cell: best, Point: grid.Center(best), Distance: bestD}, nil
+}
+
+// KNNMatcher refines the estimate to sub-cell granularity by averaging
+// the centres of the K best-matching cells with inverse-distance weights —
+// the paper's "fine-grained" output.
+type KNNMatcher struct {
+	// K is the neighbour count (default 3 when zero).
+	K int
+}
+
+// Match implements Matcher.
+func (m KNNMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Location, error) {
+	if err := checkMatch(x, grid, y); err != nil {
+		return Location{}, err
+	}
+	k := m.K
+	if k <= 0 {
+		k = 3
+	}
+	if k > x.Cols() {
+		k = x.Cols()
+	}
+	type cand struct {
+		j int
+		d float64
+	}
+	cands := make([]cand, x.Cols())
+	for j := 0; j < x.Cols(); j++ {
+		cands[j] = cand{j, columnDist(x, j, y)}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	var wsum float64
+	var px, py float64
+	const eps = 1e-6
+	for _, c := range cands[:k] {
+		w := 1 / (c.d + eps)
+		p := grid.Center(c.j)
+		px += w * p.X
+		py += w * p.Y
+		wsum += w
+	}
+	return Location{
+		Cell:     cands[0].j,
+		Point:    geom.Point{X: px / wsum, Y: py / wsum},
+		Distance: cands[0].d,
+	}, nil
+}
+
+// BayesMatcher assumes i.i.d. Gaussian measurement noise per link and
+// returns the maximum-a-posteriori cell together with its posterior mass,
+// refining the point estimate with the posterior-weighted centroid over
+// the top cells.
+type BayesMatcher struct {
+	// SigmaDB is the assumed per-link noise standard deviation
+	// (default 2 dB when zero).
+	SigmaDB float64
+}
+
+// Match implements Matcher.
+func (m BayesMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Location, error) {
+	if err := checkMatch(x, grid, y); err != nil {
+		return Location{}, err
+	}
+	sigma := m.SigmaDB
+	if sigma <= 0 {
+		sigma = 2
+	}
+	n := x.Cols()
+	logp := make([]float64, n)
+	maxLog := math.Inf(-1)
+	for j := 0; j < n; j++ {
+		d := columnDist(x, j, y)
+		logp[j] = -d * d / (2 * sigma * sigma)
+		if logp[j] > maxLog {
+			maxLog = logp[j]
+		}
+	}
+	var total float64
+	post := make([]float64, n)
+	for j := range post {
+		post[j] = math.Exp(logp[j] - maxLog)
+		total += post[j]
+	}
+	best, bestP := 0, 0.0
+	var px, py float64
+	for j := range post {
+		post[j] /= total
+		if post[j] > bestP {
+			best, bestP = j, post[j]
+		}
+		p := grid.Center(j)
+		px += post[j] * p.X
+		py += post[j] * p.Y
+	}
+	return Location{
+		Cell:       best,
+		Point:      geom.Point{X: px, Y: py},
+		Distance:   columnDist(x, best, y),
+		Confidence: bestP,
+	}, nil
+}
+
+// WeightedKNNMatcher is the mask-aware matcher the TafLoc System uses
+// after a low-cost update: each fingerprint entry is weighted by the
+// inverse of its error variance, so measured entries (fresh vacant
+// captures and reference columns, ~survey-noise accurate) dominate the
+// coarse cell selection while reconstructed entries (LoLi-IR output with
+// a few dB of error) refine it with an appropriate discount. The exact
+// entries give an implicit triangulation: a candidate cell whose covered
+// link set disagrees with the live vector is rejected on near-noiseless
+// evidence.
+type WeightedKNNMatcher struct {
+	// Observed marks measured entries (same shape as the database).
+	Observed *mat.Matrix
+	// ObsSigmaDB is the error std of measured entries (default 0.5).
+	ObsSigmaDB float64
+	// RecSigmaDB is the error std of reconstructed entries (default 4).
+	RecSigmaDB float64
+	// LiveSigmaDB is the live-measurement noise std (default 0.7).
+	LiveSigmaDB float64
+	// K is the neighbour count for the centroid refinement (default 3).
+	K int
+	// Refine enables the sub-cell refinement stage: a local grid search
+	// over bilinearly interpolated fingerprints around the best cell,
+	// exploiting the paper's continuity property. It helps on a freshly
+	// surveyed database; on a reconstructed database the interpolation
+	// can chase reconstruction error, so it is opt-in.
+	Refine bool
+	// RefineRadiusM and RefineStepM control the refinement search
+	// (defaults 0.9 m and 0.1 m).
+	RefineRadiusM float64
+	RefineStepM   float64
+}
+
+// Match implements Matcher.
+func (m WeightedKNNMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Location, error) {
+	if err := checkMatch(x, grid, y); err != nil {
+		return Location{}, err
+	}
+	obsSigma := m.ObsSigmaDB
+	if obsSigma <= 0 {
+		obsSigma = 0.5
+	}
+	recSigma := m.RecSigmaDB
+	if recSigma <= 0 {
+		recSigma = 4
+	}
+	liveSigma := m.LiveSigmaDB
+	if liveSigma <= 0 {
+		liveSigma = 0.7
+	}
+	if m.Observed != nil {
+		if m.Observed.Rows() != x.Rows() || m.Observed.Cols() != x.Cols() {
+			return Location{}, fmt.Errorf("core: observed mask %dx%d does not match database %dx%d",
+				m.Observed.Rows(), m.Observed.Cols(), x.Rows(), x.Cols())
+		}
+	}
+	wObs := 1 / (obsSigma*obsSigma + liveSigma*liveSigma)
+	wRec := 1 / (recSigma*recSigma + liveSigma*liveSigma)
+	dist := func(j int) float64 {
+		var s float64
+		for i := 0; i < x.Rows(); i++ {
+			d := x.At(i, j) - y[i]
+			w := wObs
+			if m.Observed != nil && m.Observed.At(i, j) == 0 {
+				w = wRec
+			}
+			s += w * d * d
+		}
+		return math.Sqrt(s)
+	}
+	k := m.K
+	if k <= 0 {
+		k = 3
+	}
+	if k > x.Cols() {
+		k = x.Cols()
+	}
+	type cand struct {
+		j int
+		d float64
+	}
+	cands := make([]cand, x.Cols())
+	for j := 0; j < x.Cols(); j++ {
+		cands[j] = cand{j, dist(j)}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	var wsum, px, py float64
+	const eps = 1e-6
+	for _, c := range cands[:k] {
+		w := 1 / (c.d + eps)
+		p := grid.Center(c.j)
+		px += w * p.X
+		py += w * p.Y
+		wsum += w
+	}
+	loc := Location{
+		Cell:     cands[0].j,
+		Point:    geom.Point{X: px / wsum, Y: py / wsum},
+		Distance: cands[0].d,
+	}
+	if !m.Refine {
+		return loc, nil
+	}
+	// Sub-cell refinement: the paper's continuity property means the
+	// fingerprint varies smoothly between neighbouring cells, so the
+	// database supports bilinear interpolation to a virtual fine grid. A
+	// local search around the coarse estimate picks the continuous
+	// position whose interpolated fingerprint best explains y.
+	radius := m.RefineRadiusM
+	if radius <= 0 {
+		radius = 0.9
+	}
+	step := m.RefineStepM
+	if step <= 0 {
+		step = 0.1
+	}
+	center := grid.Center(loc.Cell)
+	bestP := loc.Point
+	bestD := math.Inf(1)
+	f := make([]float64, x.Rows())
+	fObs := make([]bool, x.Rows())
+	for dx := -radius; dx <= radius; dx += step {
+		for dy := -radius; dy <= radius; dy += step {
+			p := geom.Point{X: center.X + dx, Y: center.Y + dy}
+			if p.X < 0 || p.X > grid.Width || p.Y < 0 || p.Y > grid.Height {
+				continue
+			}
+			interpFingerprint(x, m.Observed, grid, p, f, fObs)
+			var s float64
+			for i := range f {
+				d := f[i] - y[i]
+				w := wObs
+				if !fObs[i] {
+					w = wRec
+				}
+				s += w * d * d
+			}
+			if s < bestD {
+				bestD = s
+				bestP = p
+			}
+		}
+	}
+	if !math.IsInf(bestD, 1) {
+		loc.Point = bestP
+		loc.Distance = math.Sqrt(bestD)
+		if c := grid.CellAt(bestP); c >= 0 {
+			loc.Cell = c
+		}
+	}
+	return loc, nil
+}
+
+// interpFingerprint fills f with the bilinear interpolation of the
+// database columns at point p, and fObs with whether all four
+// interpolation corners of that link's entry are observed. Points beyond
+// the cell-centre lattice clamp to the border cells.
+func interpFingerprint(x, obs *mat.Matrix, grid *geom.Grid, p geom.Point, f []float64, fObs []bool) {
+	nx, ny := grid.NX(), grid.NY()
+	u := p.X/grid.CellSize - 0.5
+	v := p.Y/grid.CellSize - 0.5
+	clampF := func(val float64, hi int) (int, int, float64) {
+		f0 := math.Floor(val)
+		i0 := int(f0)
+		i1 := i0 + 1
+		if i0 < 0 {
+			return 0, 0, 0
+		}
+		if i1 >= hi {
+			return hi - 1, hi - 1, 0
+		}
+		return i0, i1, val - f0
+	}
+	ix0, ix1, fx := clampF(u, nx)
+	iy0, iy1, fy := clampF(v, ny)
+	j00 := iy0*nx + ix0
+	j10 := iy0*nx + ix1
+	j01 := iy1*nx + ix0
+	j11 := iy1*nx + ix1
+	for i := 0; i < x.Rows(); i++ {
+		g00 := x.At(i, j00)
+		g10 := x.At(i, j10)
+		g01 := x.At(i, j01)
+		g11 := x.At(i, j11)
+		f[i] = (1-fy)*((1-fx)*g00+fx*g10) + fy*((1-fx)*g01+fx*g11)
+		if obs == nil {
+			fObs[i] = true
+		} else {
+			fObs[i] = obs.At(i, j00) == 1 && obs.At(i, j10) == 1 &&
+				obs.At(i, j01) == 1 && obs.At(i, j11) == 1
+		}
+	}
+}
+
+// Detector decides whether a target is present at all by comparing a live
+// measurement vector against the vacant baseline — the gate in front of
+// localization for intruder-detection workloads.
+type Detector struct {
+	// Vacant is the empty-room RSS per link.
+	Vacant []float64
+	// ThresholdDB is the mean absolute deviation (dB across links) above
+	// which a target is declared present (default 1 dB when zero).
+	ThresholdDB float64
+}
+
+// Present reports whether y indicates a target in the area, along with
+// the measured mean absolute deviation from the vacant baseline.
+func (d Detector) Present(y []float64) (bool, float64) {
+	if len(y) != len(d.Vacant) {
+		return false, 0
+	}
+	thr := d.ThresholdDB
+	if thr <= 0 {
+		thr = 1
+	}
+	var dev float64
+	for i := range y {
+		dev += math.Abs(y[i] - d.Vacant[i])
+	}
+	dev /= float64(len(y))
+	return dev > thr, dev
+}
+
+func columnDist(x *mat.Matrix, j int, y []float64) float64 {
+	var s float64
+	for i := 0; i < x.Rows(); i++ {
+		d := x.At(i, j) - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func checkMatch(x *mat.Matrix, grid *geom.Grid, y []float64) error {
+	if x == nil || x.Cols() == 0 {
+		return fmt.Errorf("core: empty fingerprint matrix")
+	}
+	if grid == nil || grid.Cells() != x.Cols() {
+		return fmt.Errorf("core: grid/matrix mismatch")
+	}
+	if len(y) != x.Rows() {
+		return fmt.Errorf("core: measurement length %d != links %d", len(y), x.Rows())
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tafloc/internal/geom"
+	"tafloc/internal/mat"
+)
+
+// matchFixture builds a layout, synthetic truth, and a helper producing
+// live measurement vectors for arbitrary points.
+type matchFixture struct {
+	l     *Layout
+	truth *mat.Matrix
+	vac   []float64
+}
+
+func newMatchFixture(t *testing.T, seed int64) *matchFixture {
+	t.Helper()
+	l := testLayout(t)
+	truth, vac := syntheticTruth(l, rand.New(rand.NewSource(seed)))
+	return &matchFixture{l: l, truth: truth, vac: vac}
+}
+
+// liveAt synthesizes the noise-free measurement vector for a target at p
+// using the same forward model as syntheticTruth.
+func (f *matchFixture) liveAt(p geom.Point) []float64 {
+	y := make([]float64, f.l.M())
+	for i := range y {
+		seg := f.l.Links[i]
+		excess := seg.ExcessPathLength(p)
+		atten := 0.0
+		if excess <= f.l.EllipseExcess {
+			atten = 8 * math.Exp(-excess/0.25)
+		}
+		y[i] = f.vac[i] - atten
+	}
+	return y
+}
+
+func TestNNMatcherExactColumns(t *testing.T) {
+	f := newMatchFixture(t, 1)
+	// A measurement equal to a fingerprint column must match that cell.
+	for _, j := range []int{0, 17, f.l.N() / 2, f.l.N() - 1} {
+		loc, err := NNMatcher{}.Match(f.truth, f.l.Grid, f.truth.Col(j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loc.Distance > 1e-9 {
+			t.Fatalf("distance %g for exact column", loc.Distance)
+		}
+		// Ambiguity caveat: cells with identical fingerprints (no link
+		// coverage) can alias; accept any zero-distance match.
+		got := f.truth.Col(loc.Cell)
+		want := f.truth.Col(j)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("cell %d matched column differs from cell %d", loc.Cell, j)
+			}
+		}
+	}
+}
+
+func TestNNMatcherNoisyMeasurement(t *testing.T) {
+	f := newMatchFixture(t, 2)
+	rng := rand.New(rand.NewSource(3))
+	var totalErr float64
+	trials := 40
+	for k := 0; k < trials; k++ {
+		j := rng.Intn(f.l.N())
+		y := f.truth.Col(j)
+		for i := range y {
+			y[i] += 0.4 * rng.NormFloat64()
+		}
+		loc, err := NNMatcher{}.Match(f.truth, f.l.Grid, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalErr += f.l.Grid.Center(j).Dist(loc.Point)
+	}
+	if mean := totalErr / float64(trials); mean > 1.5 {
+		t.Fatalf("mean NN localization error %.2f m too large", mean)
+	}
+}
+
+func TestKNNMatcherSubCellRefinement(t *testing.T) {
+	f := newMatchFixture(t, 4)
+	// Target off cell centres: KNN should produce a point estimate whose
+	// error is no worse than a cell diagonal.
+	p := geom.Point{X: 2.05, Y: 2.35}
+	loc, err := KNNMatcher{K: 3}.Match(f.truth, f.l.Grid, f.liveAt(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.Dist(loc.Point); d > 0.85 {
+		t.Fatalf("KNN error %.2f m exceeds cell diagonal", d)
+	}
+}
+
+func TestKNNMatcherDefaultsAndClamps(t *testing.T) {
+	f := newMatchFixture(t, 5)
+	y := f.truth.Col(10)
+	if _, err := (KNNMatcher{}).Match(f.truth, f.l.Grid, y); err != nil {
+		t.Fatalf("zero K: %v", err)
+	}
+	if _, err := (KNNMatcher{K: 10000}).Match(f.truth, f.l.Grid, y); err != nil {
+		t.Fatalf("huge K: %v", err)
+	}
+}
+
+func TestBayesMatcherConfidence(t *testing.T) {
+	f := newMatchFixture(t, 6)
+	j := 30
+	loc, err := BayesMatcher{SigmaDB: 1}.Match(f.truth, f.l.Grid, f.truth.Col(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Confidence <= 0 || loc.Confidence > 1 {
+		t.Fatalf("confidence %g out of (0,1]", loc.Confidence)
+	}
+	// Exact column: the winning cell's fingerprint must equal column j's.
+	got := f.truth.Col(loc.Cell)
+	want := f.truth.Col(j)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("Bayes matched wrong fingerprint")
+		}
+	}
+}
+
+func TestBayesMatcherPosteriorCentroidInsideArea(t *testing.T) {
+	f := newMatchFixture(t, 7)
+	rng := rand.New(rand.NewSource(8))
+	for k := 0; k < 20; k++ {
+		y := f.truth.Col(rng.Intn(f.l.N()))
+		for i := range y {
+			y[i] += rng.NormFloat64()
+		}
+		loc, err := BayesMatcher{}.Match(f.truth, f.l.Grid, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loc.Point.X < 0 || loc.Point.X > f.l.Grid.Width ||
+			loc.Point.Y < 0 || loc.Point.Y > f.l.Grid.Height {
+			t.Fatalf("posterior centroid %v outside area", loc.Point)
+		}
+	}
+}
+
+func TestMatchersValidateInput(t *testing.T) {
+	f := newMatchFixture(t, 9)
+	short := make([]float64, 3)
+	for _, m := range []Matcher{NNMatcher{}, KNNMatcher{}, BayesMatcher{}} {
+		if _, err := m.Match(f.truth, f.l.Grid, short); err == nil {
+			t.Fatalf("%T accepted short measurement", m)
+		}
+		if _, err := m.Match(nil, f.l.Grid, f.vac); err == nil {
+			t.Fatalf("%T accepted nil matrix", m)
+		}
+		if _, err := m.Match(f.truth, nil, f.vac); err == nil {
+			t.Fatalf("%T accepted nil grid", m)
+		}
+	}
+}
+
+func TestDetector(t *testing.T) {
+	f := newMatchFixture(t, 10)
+	d := Detector{Vacant: f.vac, ThresholdDB: 1}
+	// Vacant reading: no target.
+	if present, dev := d.Present(f.vac); present || dev != 0 {
+		t.Fatalf("vacant flagged present (dev %.2f)", dev)
+	}
+	// Target on a link midpoint: present.
+	p := f.l.Links[0].Midpoint()
+	if present, dev := d.Present(f.liveAt(p)); !present {
+		t.Fatalf("target not detected (dev %.2f)", dev)
+	}
+	// Length mismatch: not present, no panic.
+	if present, _ := d.Present(f.vac[:2]); present {
+		t.Fatal("mismatched length reported present")
+	}
+}
+
+func TestDetectorDefaultThreshold(t *testing.T) {
+	f := newMatchFixture(t, 11)
+	d := Detector{Vacant: f.vac}
+	p := f.l.Links[2].Midpoint()
+	if present, _ := d.Present(f.liveAt(p)); !present {
+		t.Fatal("default threshold missed an on-LoS target")
+	}
+}

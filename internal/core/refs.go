@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tafloc/internal/mat"
+)
+
+// ReferenceOptions controls reference-location selection.
+type ReferenceOptions struct {
+	// EnergyFrac is the singular-value energy fraction used to estimate
+	// the numerical rank of the historical fingerprint matrix; the
+	// reference count defaults to that rank.
+	EnergyFrac float64
+	// Min and Max clamp the reference count. Max <= 0 means no upper
+	// clamp beyond N.
+	Min, Max int
+	// Count forces an exact reference count, bypassing rank estimation,
+	// when positive.
+	Count int
+}
+
+// DefaultReferenceOptions matches the paper's deployment: rank-driven
+// count with a floor of 10 references (the paper uses 10 for 96 cells).
+func DefaultReferenceOptions() ReferenceOptions {
+	return ReferenceOptions{EnergyFrac: 0.995, Min: 10, Max: 0}
+}
+
+// SelectReferences chooses reference locations from a historical
+// fingerprint matrix x (M links x N cells): the columns picked first by
+// column-pivoted QR, i.e. the maximally linearly independent columns the
+// paper calls for. The returned indices are sorted ascending.
+//
+// The count is opts.Count when positive; otherwise the energy rank of x
+// clamped to [opts.Min, opts.Max].
+func SelectReferences(x *mat.Matrix, opts ReferenceOptions) ([]int, error) {
+	if x == nil || x.Cols() == 0 || x.Rows() == 0 {
+		return nil, fmt.Errorf("core: empty fingerprint matrix")
+	}
+	n := opts.Count
+	if n <= 0 {
+		frac := opts.EnergyFrac
+		if frac <= 0 || frac > 1 {
+			frac = 0.995
+		}
+		// Center columns before rank estimation: the shared vacant
+		// baseline is a rank-1 component that would otherwise hide the
+		// distortion structure.
+		centered := x.Clone()
+		for i := 0; i < centered.Rows(); i++ {
+			row := centered.RawRow(i)
+			var mean float64
+			for _, v := range row {
+				mean += v
+			}
+			mean /= float64(len(row))
+			for j := range row {
+				row[j] -= mean
+			}
+		}
+		svd := mat.SVDecompose(centered)
+		n = svd.EnergyRank(frac) + 1 // +1 for the removed baseline direction
+		if opts.Min > 0 && n < opts.Min {
+			n = opts.Min
+		}
+		if opts.Max > 0 && n > opts.Max {
+			n = opts.Max
+		}
+	}
+	if n > x.Cols() {
+		n = x.Cols()
+	}
+	piv := mat.QRPivoted(x)
+	refs := piv.LeadingPivots(n)
+	sort.Ints(refs)
+	return refs, nil
+}
+
+// ReferenceCountForLayout estimates how many reference locations a
+// deployment needs without a historical matrix, from the layout's link
+// count: the fingerprint matrix rank is bounded by M (plus the baseline),
+// so the reference count scales with the number of links. Used by the
+// Fig 4 area sweep.
+func ReferenceCountForLayout(l *Layout, min int) int {
+	n := l.M() + 1
+	if n < min {
+		n = min
+	}
+	if n > l.N() {
+		n = l.N()
+	}
+	return n
+}

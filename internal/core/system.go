@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"tafloc/internal/mat"
+)
+
+// SystemOptions configures a System.
+type SystemOptions struct {
+	// LoLi are the reconstruction hyperparameters.
+	LoLi LoLiOptions
+	// Refs controls reference-location selection.
+	Refs ReferenceOptions
+	// Matcher locates live measurements. Nil selects the built-in
+	// mask-aware WeightedKNNMatcher, which tracks which database entries
+	// are measured vs reconstructed across updates.
+	Matcher Matcher
+	// RecSigmaDB is the assumed error std of reconstructed entries for
+	// the built-in weighted matcher (default 4 dB, the paper's 3-month
+	// reconstruction error scale).
+	RecSigmaDB float64
+	// MaskThresholdDB is the |survey - vacant| deviation above which an
+	// entry counts as largely distorted when the mask is learned from the
+	// day-0 survey (default 1.5 dB). Zero keeps the default; negative
+	// forces the geometric ellipse mask instead.
+	MaskThresholdDB float64
+}
+
+// DefaultSystemOptions returns the configuration used throughout the
+// reproduction: built-in weighted matching.
+func DefaultSystemOptions() SystemOptions {
+	return SystemOptions{
+		LoLi: DefaultLoLiOptions(),
+		Refs: DefaultReferenceOptions(),
+	}
+}
+
+// System is the end-to-end TafLoc pipeline: it holds the current
+// fingerprint database, selects reference locations, performs low-cost
+// updates via LoLi-IR, and localizes live measurements.
+//
+// A System is safe for concurrent use: Locate may be called while Update
+// runs (Update installs the new database atomically).
+type System struct {
+	layout *Layout
+	opts   SystemOptions
+	recon  *Reconstructor
+
+	mu       sync.RWMutex
+	x        *mat.Matrix // current fingerprint database
+	observed *mat.Matrix // nil = every entry measured (full survey)
+	vacant   []float64   // latest vacant baseline
+	refs     []int       // current reference cells
+}
+
+// NewSystem builds a System from the day-0 full survey.
+//
+// survey is the full M x N fingerprint matrix; vacant the empty-room RSS
+// per link at survey time.
+func NewSystem(layout *Layout, survey *mat.Matrix, vacant []float64, opts SystemOptions) (*System, error) {
+	if layout == nil {
+		return nil, fmt.Errorf("core: nil layout")
+	}
+	if survey == nil || survey.Rows() != layout.M() || survey.Cols() != layout.N() {
+		return nil, fmt.Errorf("core: survey must be %dx%d", layout.M(), layout.N())
+	}
+	if len(vacant) != layout.M() {
+		return nil, fmt.Errorf("core: vacant must have length %d", layout.M())
+	}
+	// Learn the undistorted-entry mask from the survey itself: the true
+	// sensitive band of each link is shaped by multipath, so the measured
+	// deviation from the vacant baseline beats the geometric ellipse.
+	var recon *Reconstructor
+	var err error
+	if opts.MaskThresholdDB >= 0 {
+		thr := opts.MaskThresholdDB
+		if thr == 0 {
+			thr = 1.5
+		}
+		mask, merr := MaskFromSurvey(survey, vacant, thr)
+		if merr != nil {
+			return nil, merr
+		}
+		recon, err = NewReconstructorWithMask(layout, mask, opts.LoLi)
+	} else {
+		recon, err = NewReconstructor(layout, opts.LoLi)
+	}
+	if err != nil {
+		return nil, err
+	}
+	refs, err := SelectReferences(survey, opts.Refs)
+	if err != nil {
+		return nil, err
+	}
+	v := append([]float64(nil), vacant...)
+	return &System{
+		layout: layout,
+		opts:   opts,
+		recon:  recon,
+		x:      survey.Clone(),
+		vacant: v,
+		refs:   refs,
+	}, nil
+}
+
+// Layout returns the deployment geometry.
+func (s *System) Layout() *Layout { return s.layout }
+
+// Mask returns the undistorted-entry mask the system reconstructs with
+// (1 = undistorted; learned from the day-0 survey by default).
+func (s *System) Mask() *mat.Matrix { return s.recon.Mask().Clone() }
+
+// References returns the current reference cell indices (copy).
+func (s *System) References() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]int(nil), s.refs...)
+}
+
+// Fingerprints returns a copy of the current fingerprint database.
+func (s *System) Fingerprints() *mat.Matrix {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.x.Clone()
+}
+
+// Vacant returns a copy of the current vacant baseline.
+func (s *System) Vacant() []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]float64(nil), s.vacant...)
+}
+
+// Update performs a TafLoc low-cost fingerprint update: given fresh
+// measurements at the reference locations (refCols, M x len(refs) in
+// the order returned by References) and a fresh vacant capture, it
+// reconstructs the whole database with LoLi-IR and installs it.
+func (s *System) Update(refCols *mat.Matrix, vacant []float64) (*Reconstruction, error) {
+	s.mu.RLock()
+	refs := append([]int(nil), s.refs...)
+	s.mu.RUnlock()
+
+	rec, err := s.recon.Reconstruct(UpdateInput{
+		RefIdx:  refs,
+		RefCols: refCols,
+		Vacant:  vacant,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.x = rec.X
+	s.observed = rec.Observed
+	s.vacant = append([]float64(nil), vacant...)
+	s.mu.Unlock()
+	return rec, nil
+}
+
+// Reselect re-derives the reference set from the current database, e.g.
+// after an update revealed structural change.
+func (s *System) Reselect() ([]int, error) {
+	s.mu.RLock()
+	x := s.x
+	s.mu.RUnlock()
+	refs, err := SelectReferences(x, s.opts.Refs)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.refs = refs
+	s.mu.Unlock()
+	return append([]int(nil), refs...), nil
+}
+
+// Locate matches a live measurement vector against the current database.
+// With the default options it uses the mask-aware weighted matcher, which
+// trusts measured entries (vacant fills and reference columns) above
+// LoLi-IR-reconstructed ones.
+func (s *System) Locate(y []float64) (Location, error) {
+	s.mu.RLock()
+	x := s.x
+	obs := s.observed
+	s.mu.RUnlock()
+	if s.opts.Matcher != nil {
+		return s.opts.Matcher.Match(x, s.layout.Grid, y)
+	}
+	return WeightedKNNMatcher{
+		Observed:   obs,
+		RecSigmaDB: s.opts.RecSigmaDB,
+	}.Match(x, s.layout.Grid, y)
+}
+
+// Detect reports whether a target is present, using the current vacant
+// baseline.
+func (s *System) Detect(y []float64, thresholdDB float64) (bool, float64) {
+	s.mu.RLock()
+	vac := s.vacant
+	s.mu.RUnlock()
+	return Detector{Vacant: vac, ThresholdDB: thresholdDB}.Present(y)
+}

@@ -1,0 +1,208 @@
+// Package eval provides the evaluation harnesses that regenerate every
+// figure and table of the paper: error metrics and CDFs, the per-figure
+// experiment drivers, and plain-text rendering of the resulting series.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the order statistics of an error sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Median float64
+	P90    float64
+	Max    float64
+}
+
+// Summarize computes summary statistics of vals (not modified).
+func Summarize(vals []float64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		Count:  len(s),
+		Mean:   sum / float64(len(s)),
+		Median: Percentile(s, 0.5),
+		P90:    Percentile(s, 0.9),
+		Max:    s[len(s)-1],
+	}
+}
+
+// Percentile returns the p-quantile (0..1) of sorted vals by linear
+// interpolation. vals must be sorted ascending and non-empty.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution: P(value <= X[i]) = Y[i].
+type CDF struct {
+	X []float64
+	Y []float64
+}
+
+// NewCDF builds the empirical CDF of vals (not modified).
+func NewCDF(vals []float64) CDF {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	y := make([]float64, len(s))
+	for i := range s {
+		y[i] = float64(i+1) / float64(len(s))
+	}
+	return CDF{X: s, Y: y}
+}
+
+// At returns the CDF evaluated at x.
+func (c CDF) At(x float64) float64 {
+	if len(c.X) == 0 {
+		return math.NaN()
+	}
+	idx := sort.SearchFloat64s(c.X, x)
+	// SearchFloat64s returns the first index with X[i] >= x; count values
+	// <= x instead.
+	for idx < len(c.X) && c.X[idx] <= x {
+		idx++
+	}
+	return float64(idx) / float64(len(c.X))
+}
+
+// Quantile returns the value at cumulative probability p.
+func (c CDF) Quantile(p float64) float64 { return Percentile(c.X, p) }
+
+// SampleAt evaluates the CDF at the given grid of x values — the series a
+// plot would draw.
+func (c CDF) SampleAt(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = c.At(x)
+	}
+	return out
+}
+
+// Linspace returns n evenly spaced values across [lo, hi].
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// Series is one named line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a reproducible figure: a set of series plus axis labels.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes records paper-vs-measured commentary for EXPERIMENTS.md.
+	Notes []string
+}
+
+// Render writes the figure as aligned plain-text columns: X followed by
+// one column per series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", f.Title)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "# note: %s\n", n)
+	}
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+	}
+	b.WriteByte('\n')
+	rows := len(f.Series[0].X)
+	for r := 0; r < rows; r++ {
+		fmt.Fprintf(&b, "%-12.3f", f.Series[0].X[r])
+		for _, s := range f.Series {
+			if r < len(s.Y) {
+				fmt.Fprintf(&b, " %16.4f", s.Y[r])
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table is a simple named-rows table (used for the in-text results).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes the table as aligned plain text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# note: %s\n", n)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

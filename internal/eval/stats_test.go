@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Count != 4 || s.Mean != 2.5 || s.Median != 2.5 || s.Max != 4 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Summarize mutated input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 0}, {1, 40}, {0.5, 20}, {0.25, 10}, {0.125, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(_ int64) bool {
+		n := rng.Intn(50) + 1
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 10
+		}
+		c := NewCDF(vals)
+		// X sorted, Y monotone nondecreasing in (0,1].
+		if !sort.Float64sAreSorted(c.X) {
+			return false
+		}
+		for i := range c.Y {
+			if c.Y[i] <= 0 || c.Y[i] > 1 {
+				return false
+			}
+			if i > 0 && c.Y[i] < c.Y[i-1] {
+				return false
+			}
+		}
+		// At() is monotone over a sweep.
+		prev := -1.0
+		for _, x := range Linspace(-40, 40, 17) {
+			v := c.At(x)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return c.At(math.Inf(1)) == 1 && c.At(math.Inf(-1)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFAtExactValues(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	if got := c.At(2); got != 0.75 {
+		t.Fatalf("At(2) = %g, want 0.75", got)
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Fatalf("At(0.5) = %g, want 0", got)
+	}
+	if got := c.At(3); got != 1 {
+		t.Fatalf("At(3) = %g, want 1", got)
+	}
+}
+
+func TestCDFQuantileInverse(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	c := NewCDF(vals)
+	if med := c.Quantile(0.5); math.Abs(med-5.5) > 1e-12 {
+		t.Fatalf("median = %g", med)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 10, 11)
+	if len(xs) != 11 || xs[0] != 0 || xs[10] != 10 || xs[5] != 5 {
+		t.Fatalf("Linspace = %v", xs)
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Linspace n=1 = %v", got)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{
+		Title:  "test figure",
+		XLabel: "x",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{0.1, 0.9}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{0.3, 0.7}},
+		},
+		Notes: []string{"hello"},
+	}
+	out := f.Render()
+	for _, want := range []string{"test figure", "hello", "a", "b", "0.9000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered figure missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRenderEmpty(t *testing.T) {
+	f := &Figure{Title: "empty"}
+	if out := f.Render(); !strings.Contains(out, "empty") {
+		t.Fatal("empty figure render broken")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "tbl",
+		Columns: []string{"name", "value"},
+		Rows:    [][]string{{"alpha", "1"}, {"beta", "2"}},
+		Notes:   []string{"a note"},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"tbl", "a note", "alpha", "beta", "value"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input is not
+// symmetric positive definite within numerical tolerance.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ for a
+// symmetric positive-definite matrix a. Only the lower triangle of a is
+// read.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("mat: Cholesky needs a square matrix, have %dx%d", n, c)
+	}
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		var d float64 = a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		inv := 1 / ljj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s*inv)
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolveVec solves A·x = b given the Cholesky factor L of A.
+func CholeskySolveVec(l *Matrix, b []float64) []float64 {
+	n := l.Rows()
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: CholeskySolveVec length %d != %d", len(b), n))
+	}
+	// forward: L·y = b
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// backward: Lᵀ·x = y
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// CholeskySolve solves A·X = B column-by-column given the Cholesky factor
+// L of A.
+func CholeskySolve(l, b *Matrix) *Matrix {
+	n := l.Rows()
+	if b.Rows() != n {
+		panic(fmt.Sprintf("mat: CholeskySolve rows %d != %d", b.Rows(), n))
+	}
+	x := New(n, b.Cols())
+	for j := 0; j < b.Cols(); j++ {
+		x.SetCol(j, CholeskySolveVec(l, b.Col(j)))
+	}
+	return x
+}
+
+// RidgeSolve solves the ridge-regression problem
+// min ‖A·X - B‖²_F + mu‖X‖²_F via the normal equations
+// (AᵀA + mu·I)·X = AᵀB, factored once with Cholesky.
+//
+// This is the closed-form update for TafLoc's correlation matrix Z
+// (X̂ ≈ X_R·Z with A = X_R, B = X̂).
+func RidgeSolve(a, b *Matrix, mu float64) (*Matrix, error) {
+	if a.Rows() != b.Rows() {
+		return nil, fmt.Errorf("mat: RidgeSolve rows mismatch %d vs %d", a.Rows(), b.Rows())
+	}
+	if mu < 0 {
+		return nil, fmt.Errorf("mat: RidgeSolve negative regularizer %g", mu)
+	}
+	g := TMul(a, a)
+	n := g.Rows()
+	for i := 0; i < n; i++ {
+		g.Add(i, i, mu)
+	}
+	l, err := Cholesky(g)
+	if err != nil {
+		// Gram matrix can lose definiteness numerically when mu == 0 and A
+		// is rank deficient; bump the ridge and retry once.
+		bump := 1e-8 * math.Max(1, MaxAbs(g))
+		for i := 0; i < n; i++ {
+			g.Add(i, i, bump)
+		}
+		l, err = Cholesky(g)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return CholeskySolve(l, TMul(a, b)), nil
+}
+
+// LinOp is a symmetric positive semi-definite linear operator on matrices,
+// used by the matrix-free conjugate-gradient solver. Implementations apply
+// the Hessian of one LoLi-IR subproblem without ever materializing it.
+type LinOp interface {
+	// Apply returns the operator applied to x (same shape as x).
+	Apply(x *Matrix) *Matrix
+}
+
+// LinOpFunc adapts a function to the LinOp interface.
+type LinOpFunc func(x *Matrix) *Matrix
+
+// Apply implements LinOp.
+func (f LinOpFunc) Apply(x *Matrix) *Matrix { return f(x) }
+
+// CGResult reports how a conjugate-gradient solve terminated.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final ‖r‖_F relative to ‖b‖_F
+	Converged  bool
+}
+
+// CG solves op(X) = B for X by conjugate gradients, starting from x0
+// (cloned; pass nil for a zero start). op must be symmetric positive
+// (semi-)definite. Iteration stops when the relative residual drops below
+// tol or maxIter is reached.
+func CG(op LinOp, b *Matrix, x0 *Matrix, tol float64, maxIter int) (*Matrix, CGResult) {
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	var x *Matrix
+	if x0 != nil {
+		x = x0.Clone()
+	} else {
+		x = New(b.Rows(), b.Cols())
+	}
+	bn := FrobNorm(b)
+	if bn == 0 {
+		return New(b.Rows(), b.Cols()), CGResult{Converged: true}
+	}
+	r := Sub(b, op.Apply(x))
+	p := r.Clone()
+	rs := FrobNorm2(r)
+	res := CGResult{}
+	for k := 0; k < maxIter; k++ {
+		res.Iterations = k
+		rn := math.Sqrt(rs) / bn
+		res.Residual = rn
+		if rn < tol {
+			res.Converged = true
+			return x, res
+		}
+		ap := op.Apply(p)
+		den := dotM(p, ap)
+		if den <= 0 {
+			// Operator lost definiteness numerically; stop with the best
+			// iterate so far rather than diverging.
+			return x, res
+		}
+		alpha := rs / den
+		AXPY(x, alpha, p)
+		AXPY(r, -alpha, ap)
+		rsNew := FrobNorm2(r)
+		beta := rsNew / rs
+		rs = rsNew
+		// p = r + beta*p
+		for i, rv := range r.data {
+			p.data[i] = rv + beta*p.data[i]
+		}
+	}
+	res.Residual = math.Sqrt(rs) / bn
+	res.Converged = res.Residual < tol
+	return x, res
+}
+
+func dotM(a, b *Matrix) float64 {
+	var s float64
+	for i, v := range a.data {
+		s += v * b.data[i]
+	}
+	return s
+}

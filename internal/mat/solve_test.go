@@ -1,0 +1,228 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSPD returns a random symmetric positive-definite n x n matrix.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	a := randomMatrix(rng, n+2, n)
+	g := TMul(a, a)
+	for i := 0; i < n; i++ {
+		g.Add(i, i, 0.5)
+	}
+	return g
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 15; trial++ {
+		n := rng.Intn(8) + 1
+		a := randomSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !MulT(l, l).Equal(a, 1e-9) {
+			t.Fatal("L*Lt != A")
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected ErrNotPositiveDefinite")
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	if _, err := Cholesky(New(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestCholeskySolveVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	f := func(_ int64) bool {
+		n := rng.Intn(7) + 1
+		a := randomSPD(rng, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := MulVec(a, xTrue)
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		x := CholeskySolveVec(l, b)
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-7*math.Max(1, math.Abs(xTrue[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskySolveMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	n := 5
+	a := randomSPD(rng, n)
+	xTrue := randomMatrix(rng, n, 3)
+	b := Mul(a, xTrue)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := CholeskySolve(l, b)
+	if !x.Equal(xTrue, 1e-7) {
+		t.Fatal("matrix solve mismatch")
+	}
+}
+
+func TestRidgeSolveMatchesNormalEquations(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	a := randomMatrix(rng, 10, 4)
+	b := randomMatrix(rng, 10, 6)
+	mu := 0.3
+	z, err := RidgeSolve(a, b, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify residual of normal equations: (AtA + mu I) Z = At B.
+	lhs := Mul(AddM(TMul(a, a), Scale(mu, Identity(4))), z)
+	rhs := TMul(a, b)
+	if !lhs.Equal(rhs, 1e-8) {
+		t.Fatal("ridge normal equations violated")
+	}
+}
+
+func TestRidgeSolveRankDeficientWithZeroMu(t *testing.T) {
+	// Duplicate columns make AtA singular; the retry bump must rescue it.
+	a := New(6, 3)
+	col := []float64{1, 2, 3, 4, 5, 6}
+	a.SetCol(0, col)
+	a.SetCol(1, col)
+	a.SetCol(2, []float64{1, 0, 0, 0, 0, 0})
+	b := New(6, 1)
+	b.SetCol(0, col)
+	z, err := RidgeSolve(a, b, 0)
+	if err != nil {
+		t.Fatalf("RidgeSolve failed on rank-deficient input: %v", err)
+	}
+	if !z.IsFinite() {
+		t.Fatal("non-finite solution")
+	}
+}
+
+func TestRidgeSolveShrinksWithMu(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	a := randomMatrix(rng, 12, 4)
+	b := randomMatrix(rng, 12, 2)
+	z1, err := RidgeSolve(a, b, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z2, err := RidgeSolve(a, b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FrobNorm(z2) >= FrobNorm(z1) {
+		t.Fatalf("larger ridge should shrink solution: %g vs %g", FrobNorm(z2), FrobNorm(z1))
+	}
+}
+
+func TestRidgeSolveErrors(t *testing.T) {
+	if _, err := RidgeSolve(New(3, 2), New(4, 2), 1); err == nil {
+		t.Fatal("expected rows-mismatch error")
+	}
+	if _, err := RidgeSolve(New(3, 2), New(3, 2), -1); err == nil {
+		t.Fatal("expected negative-mu error")
+	}
+}
+
+func TestCGSolvesSPDSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	n := 8
+	a := randomSPD(rng, n)
+	xTrue := randomMatrix(rng, n, 2)
+	b := Mul(a, xTrue)
+	op := LinOpFunc(func(x *Matrix) *Matrix { return Mul(a, x) })
+	x, res := CG(op, b, nil, 1e-10, 500)
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	if !x.Equal(xTrue, 1e-6) {
+		t.Fatal("CG solution mismatch")
+	}
+}
+
+func TestCGMatchesCholesky(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := func(_ int64) bool {
+		n := rng.Intn(6) + 2
+		a := randomSPD(rng, n)
+		b := randomMatrix(rng, n, 1)
+		op := LinOpFunc(func(x *Matrix) *Matrix { return Mul(a, x) })
+		xcg, res := CG(op, b, nil, 1e-12, 1000)
+		if !res.Converged {
+			return false
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		xch := CholeskySolveVec(l, b.Col(0))
+		for i := 0; i < n; i++ {
+			if math.Abs(xcg.At(i, 0)-xch[i]) > 1e-6*math.Max(1, math.Abs(xch[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	op := LinOpFunc(func(x *Matrix) *Matrix { return x })
+	x, res := CG(op, New(4, 2), nil, 1e-8, 10)
+	if !res.Converged || FrobNorm(x) != 0 {
+		t.Fatal("CG on zero rhs should return zero immediately")
+	}
+}
+
+func TestCGWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	n := 6
+	a := randomSPD(rng, n)
+	xTrue := randomMatrix(rng, n, 1)
+	b := Mul(a, xTrue)
+	op := LinOpFunc(func(x *Matrix) *Matrix { return Mul(a, x) })
+	// Warm start from the exact solution: should converge instantly.
+	_, res := CG(op, b, xTrue, 1e-8, 100)
+	if res.Iterations > 1 {
+		t.Fatalf("warm-started CG took %d iterations", res.Iterations)
+	}
+}
+
+func TestCGDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	a := randomSPD(rng, 4)
+	b := randomMatrix(rng, 4, 1)
+	op := LinOpFunc(func(x *Matrix) *Matrix { return Mul(a, x) })
+	// tol<=0 and maxIter<=0 must fall back to defaults and still work.
+	_, res := CG(op, b, nil, 0, 0)
+	if !res.Converged {
+		t.Fatal("CG with default params did not converge")
+	}
+}

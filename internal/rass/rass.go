@@ -1,0 +1,160 @@
+// Package rass implements the RASS baseline (Zhang et al., IEEE TPDS
+// 2013: "RASS: A Real-time, Accurate, and Scalable System for Tracking
+// Transceiver-free Objects") in the form the TafLoc paper compares
+// against: a fingerprint-matching tracker over RSS-dynamics signatures.
+//
+// RASS works on the *change* each link experiences relative to the vacant
+// baseline (its "RSS dynamics") rather than on absolute RSS, selects the
+// most-affected links for each estimate, and interpolates between the
+// best-matching fingerprint cells weighted by signature similarity. Its
+// database ages exactly like any fingerprint system's — which is what the
+// paper's Fig 5 exploits: "RASS w/o rec." runs on the stale day-0
+// database, while "RASS w/ rec." runs on a database refreshed by TafLoc's
+// LoLi-IR reconstruction, demonstrating that the reconstruction scheme
+// transfers to other fingerprint systems.
+package rass
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tafloc/internal/geom"
+	"tafloc/internal/mat"
+)
+
+// Options configures the tracker.
+type Options struct {
+	// TopLinks is the number of most-affected links used in matching;
+	// zero uses all links.
+	TopLinks int
+	// K is the number of candidate cells interpolated (default 3).
+	K int
+	// MinDynamic (dB) is the link-change magnitude below which a link is
+	// considered unaffected and excluded from TopLinks selection.
+	MinDynamic float64
+}
+
+// DefaultOptions returns the configuration used in the comparisons.
+func DefaultOptions() Options {
+	return Options{TopLinks: 6, K: 3, MinDynamic: 0.5}
+}
+
+// Tracker is a RASS instance bound to one fingerprint database. Create a
+// new Tracker (or call SetDatabase) when the database is refreshed.
+type Tracker struct {
+	grid *geom.Grid
+	opts Options
+
+	x      *mat.Matrix // fingerprint database (M x N), absolute RSS
+	vacant []float64   // vacant baseline the database is relative to
+	dyn    *mat.Matrix // precomputed dynamics: vacant_i - x_ij
+}
+
+// NewTracker builds a tracker over a fingerprint database and the vacant
+// baseline captured with it.
+func NewTracker(x *mat.Matrix, vacant []float64, grid *geom.Grid, opts Options) (*Tracker, error) {
+	t := &Tracker{grid: grid, opts: opts}
+	if err := t.SetDatabase(x, vacant); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SetDatabase swaps in a new fingerprint database (e.g. a TafLoc
+// reconstruction) and its vacant baseline.
+func (t *Tracker) SetDatabase(x *mat.Matrix, vacant []float64) error {
+	if x == nil || x.Rows() == 0 || x.Cols() == 0 {
+		return fmt.Errorf("rass: empty database")
+	}
+	if t.grid == nil || t.grid.Cells() != x.Cols() {
+		return fmt.Errorf("rass: grid/database mismatch")
+	}
+	if len(vacant) != x.Rows() {
+		return fmt.Errorf("rass: vacant length %d != links %d", len(vacant), x.Rows())
+	}
+	dyn := mat.New(x.Rows(), x.Cols())
+	for i := 0; i < x.Rows(); i++ {
+		for j := 0; j < x.Cols(); j++ {
+			dyn.Set(i, j, vacant[i]-x.At(i, j))
+		}
+	}
+	t.x = x.Clone()
+	t.vacant = append([]float64(nil), vacant...)
+	t.dyn = dyn
+	return nil
+}
+
+// Locate estimates the target position from a live measurement vector.
+// liveVacant is the *current* vacant baseline used to form the live
+// dynamics (pass the stored one if no fresh capture exists).
+func (t *Tracker) Locate(live, liveVacant []float64) (geom.Point, error) {
+	m := t.x.Rows()
+	if len(live) != m || len(liveVacant) != m {
+		return geom.Point{}, fmt.Errorf("rass: measurement length mismatch")
+	}
+	// Live dynamics.
+	d := make([]float64, m)
+	for i := range d {
+		d[i] = liveVacant[i] - live[i]
+	}
+	// Select the most-affected links.
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(d[idx[a]]) > math.Abs(d[idx[b]])
+	})
+	top := t.opts.TopLinks
+	if top <= 0 || top > m {
+		top = m
+	}
+	sel := idx[:0:0]
+	for _, i := range idx[:top] {
+		if math.Abs(d[i]) >= t.opts.MinDynamic {
+			sel = append(sel, i)
+		}
+	}
+	if len(sel) == 0 {
+		// No link sees the target; fall back to all links so we still
+		// return the best guess instead of failing.
+		sel = idx
+	}
+	// Match dynamics signatures over the selected links.
+	n := t.x.Cols()
+	type cand struct {
+		j    int
+		dist float64
+	}
+	cands := make([]cand, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for _, i := range sel {
+			diff := t.dyn.At(i, j) - d[i]
+			s += diff * diff
+		}
+		cands[j] = cand{j, math.Sqrt(s)}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+	k := t.opts.K
+	if k <= 0 {
+		k = 3
+	}
+	if k > n {
+		k = n
+	}
+	var wx, wy, wsum float64
+	const eps = 1e-6
+	for _, c := range cands[:k] {
+		w := 1 / (c.dist + eps)
+		p := t.grid.Center(c.j)
+		wx += w * p.X
+		wy += w * p.Y
+		wsum += w
+	}
+	return geom.Point{X: wx / wsum, Y: wy / wsum}, nil
+}
+
+// Grid returns the tracker's grid.
+func (t *Tracker) Grid() *geom.Grid { return t.grid }

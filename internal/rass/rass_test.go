@@ -1,0 +1,189 @@
+package rass
+
+import (
+	"testing"
+
+	"tafloc/internal/geom"
+	"tafloc/internal/mat"
+	"tafloc/internal/rf"
+)
+
+func testSetup(t *testing.T, seed uint64) (*Tracker, *rf.Channel, *geom.Grid) {
+	t.Helper()
+	grid, err := geom.NewGrid(7.2, 4.8, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := geom.CrossedDeployment(7.2, 4.8, 10)
+	p := rf.DefaultParams()
+	p.Seed = seed
+	ch, err := rf.NewChannel(p, links, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ch.TrueFingerprint(0)
+	vac := ch.TrueVacant(0)
+	tr, err := NewTracker(x, vac, grid, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, ch, grid
+}
+
+func TestNewTrackerValidation(t *testing.T) {
+	grid, _ := geom.NewGrid(6, 6, 0.6)
+	x := mat.New(4, 100)
+	vac := make([]float64, 4)
+	if _, err := NewTracker(nil, vac, grid, DefaultOptions()); err == nil {
+		t.Fatal("accepted nil database")
+	}
+	if _, err := NewTracker(x, vac, nil, DefaultOptions()); err == nil {
+		t.Fatal("accepted nil grid")
+	}
+	if _, err := NewTracker(x, vac[:2], grid, DefaultOptions()); err == nil {
+		t.Fatal("accepted short vacant")
+	}
+	if _, err := NewTracker(mat.New(4, 7), vac, grid, DefaultOptions()); err == nil {
+		t.Fatal("accepted grid/database mismatch")
+	}
+}
+
+func TestLocateFreshDatabase(t *testing.T) {
+	tr, ch, _ := testSetup(t, 1)
+	targets := []geom.Point{
+		{X: 1.5, Y: 1.5}, {X: 3.3, Y: 2.7}, {X: 5.1, Y: 3.3}, {X: 6.3, Y: 0.9},
+	}
+	vac := ch.TrueVacant(0)
+	var total float64
+	for _, target := range targets {
+		live := make([]float64, ch.M())
+		for i := range live {
+			live[i] = ch.TargetRSS(i, target, 0)
+		}
+		got, err := tr.Locate(live, vac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += got.Dist(target)
+	}
+	if mean := total / float64(len(targets)); mean > 1.2 {
+		t.Fatalf("RASS fresh-database mean error %.2f m too large", mean)
+	}
+}
+
+func TestLocateDegradesWithStaleDatabase(t *testing.T) {
+	// The premise of Fig 5: RASS on day-0 fingerprints degrades after 90
+	// days of drift, and refreshing the database restores accuracy.
+	tr, ch, grid := testSetup(t, 2)
+	const days = 90
+	targets := []geom.Point{
+		{X: 1.5, Y: 2.1}, {X: 3.9, Y: 1.5}, {X: 5.7, Y: 3.3}, {X: 2.7, Y: 3.9},
+	}
+	evalT := func(tracker *Tracker, liveVacant []float64) float64 {
+		var total float64
+		for _, target := range targets {
+			live := make([]float64, ch.M())
+			for i := range live {
+				live[i] = ch.TargetRSS(i, target, days)
+			}
+			got, err := tracker.Locate(live, liveVacant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += got.Dist(target)
+		}
+		return total / float64(len(targets))
+	}
+	staleErr := evalT(tr, ch.TrueVacant(days))
+
+	fresh, err := NewTracker(ch.TrueFingerprint(days), ch.TrueVacant(days), grid, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshErr := evalT(fresh, ch.TrueVacant(days))
+	if freshErr >= staleErr {
+		t.Fatalf("fresh database (%.2f m) not better than stale (%.2f m)", freshErr, staleErr)
+	}
+	t.Logf("RASS 90-day: stale %.2f m vs fresh %.2f m", staleErr, freshErr)
+}
+
+func TestSetDatabaseSwaps(t *testing.T) {
+	tr, ch, _ := testSetup(t, 3)
+	if err := tr.SetDatabase(ch.TrueFingerprint(30), ch.TrueVacant(30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetDatabase(mat.New(0, 0), nil); err == nil {
+		t.Fatal("accepted empty database")
+	}
+}
+
+func TestSetDatabaseClones(t *testing.T) {
+	tr, ch, _ := testSetup(t, 4)
+	x := ch.TrueFingerprint(0)
+	vac := ch.TrueVacant(0)
+	if err := tr.SetDatabase(x, vac); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's copies must not affect the tracker.
+	x.Set(0, 0, 999)
+	vac[0] = 999
+	target := geom.Point{X: 3.3, Y: 2.1}
+	live := make([]float64, ch.M())
+	for i := range live {
+		live[i] = ch.TargetRSS(i, target, 0)
+	}
+	got, err := tr.Locate(live, ch.TrueVacant(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(target) > 1.5 {
+		t.Fatal("tracker state was corrupted by caller mutation")
+	}
+}
+
+func TestLocateValidation(t *testing.T) {
+	tr, _, _ := testSetup(t, 5)
+	if _, err := tr.Locate(make([]float64, 3), make([]float64, 10)); err == nil {
+		t.Fatal("accepted short live vector")
+	}
+	if _, err := tr.Locate(make([]float64, 10), make([]float64, 3)); err == nil {
+		t.Fatal("accepted short vacant vector")
+	}
+}
+
+func TestLocateNoAffectedLinksFallsBack(t *testing.T) {
+	tr, ch, _ := testSetup(t, 6)
+	// Live equals vacant: no dynamics anywhere; must not error.
+	vac := ch.TrueVacant(0)
+	if _, err := tr.Locate(vac, vac); err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+}
+
+func TestOptionsEdgeCases(t *testing.T) {
+	grid, _ := geom.NewGrid(7.2, 4.8, 0.6)
+	links := geom.CrossedDeployment(7.2, 4.8, 10)
+	p := rf.DefaultParams()
+	ch, err := rf.NewChannel(p, links, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TopLinks and K of zero fall back to defaults; huge values clamp.
+	for _, opts := range []Options{
+		{TopLinks: 0, K: 0},
+		{TopLinks: 1000, K: 1000, MinDynamic: 0.5},
+	} {
+		tr, err := NewTracker(ch.TrueFingerprint(0), ch.TrueVacant(0), grid, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := geom.Point{X: 3.3, Y: 2.1}
+		live := make([]float64, ch.M())
+		for i := range live {
+			live[i] = ch.TargetRSS(i, target, 0)
+		}
+		if _, err := tr.Locate(live, ch.TrueVacant(0)); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+
+	"tafloc/internal/geom"
+	"tafloc/internal/mat"
+	"tafloc/internal/rng"
+)
+
+// Channel is the simulated radio environment for one deployment: a set of
+// links over a gridded area, with a frozen random universe of static
+// multipath offsets and drift directions. A Channel is deterministic given
+// its Params.Seed, so experiments are exactly reproducible.
+//
+// Methods that take a time argument express it in days since the initial
+// site survey.
+type Channel struct {
+	params Params
+	links  []geom.Segment
+	grid   *geom.Grid
+
+	linkOffset  []float64    // static per-link multipath offset (dB)
+	maxAtten    []float64    // per-link peak shadowing attenuation (dB)
+	vacantDir   []float64    // per-link drift direction, unit variance
+	senseOffset []geom.Point // static displacement of each link's sensitive band
+
+	// Shadowing-drift fields over (link, cell): a rank-DriftRank
+	// recoverable component U*Vᵀ plus an idiosyncratic component E,
+	// combined with variance shares DriftLowRankShare / 1-share.
+	driftU *mat.Matrix // M x r
+	driftV *mat.Matrix // N x r
+	driftE *mat.Matrix // M x N
+
+	// gain is the static multipath gain field (M x N), spatially
+	// smoothed per link and sampled bilinearly at target positions.
+	gain *mat.Matrix
+
+	noise *rng.Source
+}
+
+// NewChannel builds a channel for the given links and grid. The grid
+// defines the fingerprint discretization; links may be any segments in or
+// around the gridded area.
+func NewChannel(params Params, links []geom.Segment, grid *geom.Grid) (*Channel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(links) == 0 {
+		return nil, fmt.Errorf("rf: need at least one link")
+	}
+	if grid == nil {
+		return nil, fmt.Errorf("rf: nil grid")
+	}
+	root := rng.New(params.Seed)
+	static := root.Split("static")
+	drift := root.Split("drift")
+
+	m := len(links)
+	n := grid.Cells()
+	c := &Channel{
+		params:     params,
+		links:      append([]geom.Segment(nil), links...),
+		grid:       grid,
+		linkOffset: make([]float64, m),
+		maxAtten:   make([]float64, m),
+		vacantDir:  make([]float64, m),
+		driftU:     mat.New(m, params.DriftRank),
+		driftV:     mat.New(n, params.DriftRank),
+		driftE:     mat.New(m, n),
+		noise:      root.Split("noise"),
+	}
+	c.senseOffset = make([]geom.Point, m)
+	for i := 0; i < m; i++ {
+		c.linkOffset[i] = static.Gaussian(0, params.LinkOffsetStdDB)
+		c.maxAtten[i] = math.Max(1, params.MaxAttenDB+static.Gaussian(0, params.AttenVarStdDB))
+		c.vacantDir[i] = drift.Norm()
+		clip := func(v float64) float64 {
+			lim := 1.5 * params.SenseOffsetStdM
+			return math.Max(-lim, math.Min(lim, v))
+		}
+		c.senseOffset[i] = geom.Point{
+			X: clip(static.Gaussian(0, params.SenseOffsetStdM)),
+			Y: clip(static.Gaussian(0, params.SenseOffsetStdM)),
+		}
+	}
+	// Unit-variance low-rank field: entries of U,V are N(0,1); U*Vᵀ entry
+	// variance is r, so scale by 1/sqrt(r).
+	inv := 1 / math.Sqrt(float64(params.DriftRank))
+	for i := 0; i < m; i++ {
+		for k := 0; k < params.DriftRank; k++ {
+			c.driftU.Set(i, k, drift.Norm()*inv)
+		}
+	}
+	for j := 0; j < n; j++ {
+		for k := 0; k < params.DriftRank; k++ {
+			c.driftV.Set(j, k, drift.Norm())
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			c.driftE.Set(i, j, drift.Norm())
+		}
+	}
+	c.gain = buildGainField(params, grid, m, root.Split("multipath"))
+	return c, nil
+}
+
+// buildGainField draws a white Gaussian field per (link, cell), smooths
+// it with neighbour averaging so it varies continuously along link paths,
+// renormalizes to unit variance, and maps it to 1 + std*field clipped to
+// a physical range.
+func buildGainField(params Params, grid *geom.Grid, m int, src *rng.Source) *mat.Matrix {
+	n := grid.Cells()
+	field := mat.New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			field.Set(i, j, src.Norm())
+		}
+	}
+	for pass := 0; pass < params.MultipathSmoothPasses; pass++ {
+		next := mat.New(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				sum := field.At(i, j)
+				count := 1.0
+				for _, nb := range grid.Neighbors4(j) {
+					sum += field.At(i, nb)
+					count++
+				}
+				next.Set(i, j, sum/count)
+			}
+		}
+		field = next
+	}
+	// Renormalize each link's field to unit variance (smoothing shrank it).
+	for i := 0; i < m; i++ {
+		row := field.RawRow(i)
+		var mean, ss float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(n)
+		for _, v := range row {
+			d := v - mean
+			ss += d * d
+		}
+		std := math.Sqrt(ss / float64(n))
+		if std == 0 {
+			std = 1
+		}
+		for j := range row {
+			row[j] = (row[j] - mean) / std
+		}
+	}
+	gain := mat.New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			// Signed gain: negative values model the constructive-multipath
+			// cells where a body *raises* a link's RSS — routinely observed
+			// on real testbeds and fundamentally outside RTI's nonnegative
+			// attenuation model, while fingerprints capture it natively.
+			g := 1 + params.MultipathGainStd*field.At(i, j)
+			gain.Set(i, j, math.Min(2.5, math.Max(-0.6, g)))
+		}
+	}
+	return gain
+}
+
+// gainAt samples link i's multipath gain at point p by bilinear
+// interpolation over the cell-centre lattice, clamping outside the grid.
+func (c *Channel) gainAt(i int, p geom.Point) float64 {
+	g := c.grid
+	nx, ny := g.NX(), g.NY()
+	u := p.X/g.CellSize - 0.5
+	v := p.Y/g.CellSize - 0.5
+	clampF := func(x float64, hi int) (int, int, float64) {
+		x0 := math.Floor(x)
+		frac := x - x0
+		i0 := int(x0)
+		i1 := i0 + 1
+		if i0 < 0 {
+			return 0, 0, 0
+		}
+		if i1 >= hi {
+			return hi - 1, hi - 1, 0
+		}
+		return i0, i1, frac
+	}
+	ix0, ix1, fx := clampF(u, nx)
+	iy0, iy1, fy := clampF(v, ny)
+	g00 := c.gain.At(i, iy0*nx+ix0)
+	g10 := c.gain.At(i, iy0*nx+ix1)
+	g01 := c.gain.At(i, iy1*nx+ix0)
+	g11 := c.gain.At(i, iy1*nx+ix1)
+	return (1-fy)*((1-fx)*g00+fx*g10) + fy*((1-fx)*g01+fx*g11)
+}
+
+// Params returns the channel's configuration.
+func (c *Channel) Params() Params { return c.params }
+
+// Links returns the link segments (shared slice; do not modify).
+func (c *Channel) Links() []geom.Segment { return c.links }
+
+// Grid returns the location grid.
+func (c *Channel) Grid() *geom.Grid { return c.grid }
+
+// M returns the number of links.
+func (c *Channel) M() int { return len(c.links) }
+
+// N returns the number of grid cells.
+func (c *Channel) N() int { return c.grid.Cells() }
+
+// VacantRSS returns the true (noise-free) RSS of link i with no target
+// present, at the given age in days.
+func (c *Channel) VacantRSS(link int, days float64) float64 {
+	c.checkLink(link)
+	s := c.links[link]
+	d := math.Max(s.Length(), 1)
+	base := c.params.TxPowerDBm - c.params.RefLossDB -
+		10*c.params.PathLossExp*math.Log10(d) + c.linkOffset[link]
+	return base + c.params.DriftStd(days)*c.vacantDir[link]
+}
+
+// Attenuation returns the true excess attenuation (dB) a target at point
+// p causes on link i at the given age. It is usually positive (blockage)
+// but can be negative where constructive multipath makes a body raise the
+// link's RSS. Drift modulates the shadowing pattern proportionally to its
+// strength, so undistorted entries stay pinned to the vacant baseline.
+func (c *Channel) Attenuation(link int, p geom.Point, days float64) float64 {
+	c.checkLink(link)
+	s := c.links[link]
+	// The sensitive band is displaced from the geometric LoS by the
+	// link's static multipath offset: evaluate the profile at the
+	// pulled-back position.
+	excess := s.ExcessPathLength(p.Sub(c.senseOffset[link]))
+	var atten float64
+	if excess <= c.params.EllipseExcessM {
+		atten = c.maxAtten[link] * math.Exp(-excess/c.params.AttenDecayM)
+	} else {
+		// Weak scattering outside the sensitivity ellipse.
+		atten = c.params.ResidualAttenDB * math.Exp(-(excess - c.params.EllipseExcessM))
+	}
+	if c.params.MultipathGainStd > 0 {
+		atten *= c.gainAt(link, p)
+	}
+	if days > 0 && atten != 0 {
+		j := c.grid.CellAt(p)
+		if j >= 0 {
+			atten *= c.shadowDriftMult(link, j, days)
+		}
+	}
+	return atten
+}
+
+// shadowDriftMult returns the multiplicative drift factor for the
+// shadowing strength of entry (i,j) at the given age.
+func (c *Channel) shadowDriftMult(i, j int, days float64) float64 {
+	sh := c.params.ShadowDriftShare * c.params.DriftStd(days) / math.Max(1, c.params.MaxAttenDB)
+	low := 0.0
+	for k := 0; k < c.params.DriftRank; k++ {
+		low += c.driftU.At(i, k) * c.driftV.At(j, k)
+	}
+	rho := c.params.DriftLowRankShare
+	field := math.Sqrt(rho)*low + math.Sqrt(1-rho)*c.driftE.At(i, j)
+	return math.Max(0.1, 1+sh*field)
+}
+
+// TargetRSS returns the true RSS of link i when a target stands at p, at
+// the given age.
+func (c *Channel) TargetRSS(link int, p geom.Point, days float64) float64 {
+	return c.VacantRSS(link, days) - c.Attenuation(link, p, days)
+}
+
+// TrueFingerprint returns the noise-free ground-truth fingerprint matrix
+// X(t): entry (i,j) is link i's RSS with the target at the centre of cell
+// j, at age days.
+func (c *Channel) TrueFingerprint(days float64) *mat.Matrix {
+	x := mat.New(c.M(), c.N())
+	for i := 0; i < c.M(); i++ {
+		vac := c.VacantRSS(i, days)
+		for j := 0; j < c.N(); j++ {
+			x.Set(i, j, vac-c.Attenuation(i, c.grid.Center(j), days))
+		}
+	}
+	return x
+}
+
+// TrueVacant returns the noise-free vacant RSS vector (length M) at age
+// days.
+func (c *Channel) TrueVacant(days float64) []float64 {
+	v := make([]float64, c.M())
+	for i := range v {
+		v[i] = c.VacantRSS(i, days)
+	}
+	return v
+}
+
+// SampleVacant returns one noisy, quantized vacant RSS sample for link i.
+func (c *Channel) SampleVacant(link int, days float64) float64 {
+	return c.quantize(c.VacantRSS(link, days) + c.noise.Gaussian(0, c.params.NoiseStdDB))
+}
+
+// SampleTarget returns one noisy, quantized RSS sample for link i with a
+// target at p.
+func (c *Channel) SampleTarget(link int, p geom.Point, days float64) float64 {
+	return c.quantize(c.TargetRSS(link, p, days) + c.noise.Gaussian(0, c.params.NoiseStdDB))
+}
+
+// MeasureVacant returns the average of samples noisy vacant readings for
+// every link (the cheap empty-room capture TafLoc uses to fill
+// undistorted entries).
+func (c *Channel) MeasureVacant(days float64, samples int) []float64 {
+	if samples < 1 {
+		samples = 1
+	}
+	out := make([]float64, c.M())
+	for i := range out {
+		var s float64
+		for k := 0; k < samples; k++ {
+			s += c.SampleVacant(i, days)
+		}
+		out[i] = s / float64(samples)
+	}
+	return out
+}
+
+// MeasureColumn returns the averaged fingerprint column for a target
+// standing at the centre of cell j: one surveyor measurement visit.
+func (c *Channel) MeasureColumn(j int, days float64, samples int) []float64 {
+	if samples < 1 {
+		samples = 1
+	}
+	p := c.grid.Center(j)
+	out := make([]float64, c.M())
+	for i := range out {
+		var s float64
+		for k := 0; k < samples; k++ {
+			s += c.SampleTarget(i, p, days)
+		}
+		out[i] = s / float64(samples)
+	}
+	return out
+}
+
+// MeasureLive returns one noisy real-time measurement vector Y for a
+// target at point p (not necessarily a cell centre).
+func (c *Channel) MeasureLive(p geom.Point, days float64) []float64 {
+	out := make([]float64, c.M())
+	for i := range out {
+		out[i] = c.SampleTarget(i, p, days)
+	}
+	return out
+}
+
+func (c *Channel) quantize(v float64) float64 {
+	q := c.params.QuantizeDB
+	if q <= 0 {
+		return v
+	}
+	return math.Round(v/q) * q
+}
+
+func (c *Channel) checkLink(i int) {
+	if i < 0 || i >= len(c.links) {
+		panic(fmt.Sprintf("rf: link %d out of range %d", i, len(c.links)))
+	}
+}

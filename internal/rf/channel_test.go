@@ -1,0 +1,355 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tafloc/internal/geom"
+)
+
+func testChannel(t *testing.T, seed uint64) *Channel {
+	t.Helper()
+	grid, err := geom.NewGrid(7.2, 4.8, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Seed = seed
+	links := geom.CrossedDeployment(7.2, 4.8, 10)
+	c, err := NewChannel(p, links, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.PathLossExp = 0 },
+		func(p *Params) { p.MaxAttenDB = -1 },
+		func(p *Params) { p.EllipseExcessM = 0 },
+		func(p *Params) { p.AttenDecayM = -1 },
+		func(p *Params) { p.DriftExp = 2 },
+		func(p *Params) { p.DriftLowRankShare = 1.5 },
+		func(p *Params) { p.ShadowDriftShare = -0.1 },
+		func(p *Params) { p.DriftRank = 0 },
+		func(p *Params) { p.NoiseStdDB = -1 },
+		func(p *Params) { p.QuantizeDB = -1 },
+	}
+	for i, mutate := range bad {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestDriftCalibrationAnchors(t *testing.T) {
+	// The power law must pass through the paper's anchors:
+	// mean |drift| = 2.5 dBm at 5 days and 6 dBm at 45 days.
+	p := DefaultParams()
+	const sqrt2OverPi = 0.7978845608028654
+	mean5 := p.DriftStd(5) * sqrt2OverPi
+	mean45 := p.DriftStd(45) * sqrt2OverPi
+	if math.Abs(mean5-2.5) > 0.06 {
+		t.Fatalf("mean drift @5d = %.3f dBm, want 2.5", mean5)
+	}
+	if math.Abs(mean45-6.0) > 0.12 {
+		t.Fatalf("mean drift @45d = %.3f dBm, want 6.0", mean45)
+	}
+	if p.DriftStd(0) != 0 {
+		t.Fatal("drift at day 0 must be zero")
+	}
+}
+
+func TestNewChannelValidation(t *testing.T) {
+	grid, _ := geom.NewGrid(6, 6, 0.6)
+	if _, err := NewChannel(DefaultParams(), nil, grid); err == nil {
+		t.Fatal("no links accepted")
+	}
+	if _, err := NewChannel(DefaultParams(), geom.OppositeSidePairs(6, 6, 3), nil); err == nil {
+		t.Fatal("nil grid accepted")
+	}
+	bad := DefaultParams()
+	bad.PathLossExp = -1
+	if _, err := NewChannel(bad, geom.OppositeSidePairs(6, 6, 3), grid); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestChannelDeterminism(t *testing.T) {
+	a := testChannel(t, 5)
+	b := testChannel(t, 5)
+	if !a.TrueFingerprint(30).Equal(b.TrueFingerprint(30), 0) {
+		t.Fatal("same seed must give identical ground truth")
+	}
+	c := testChannel(t, 6)
+	if a.TrueFingerprint(0).Equal(c.TrueFingerprint(0), 1e-9) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestVacantRSSPlausible(t *testing.T) {
+	c := testChannel(t, 1)
+	for i := 0; i < c.M(); i++ {
+		v := c.VacantRSS(i, 0)
+		if v > -10 || v < -90 {
+			t.Fatalf("link %d vacant RSS %.1f dBm implausible", i, v)
+		}
+	}
+}
+
+func TestAttenuationStrongNearLoSWeakFar(t *testing.T) {
+	c := testChannel(t, 2)
+	strong := 0
+	for i := 0; i < c.M(); i++ {
+		mid := c.Links()[i].Midpoint()
+		// The sensitive band is displaced from the geometric LoS and its
+		// gain signed, so check magnitudes: near-LoS response is strong
+		// for most links, far response is weak for all.
+		on := math.Abs(c.Attenuation(i, mid, 0))
+		if on >= 1 {
+			strong++
+		}
+		far := geom.Point{X: mid.X + 3.5, Y: mid.Y + 3.5}
+		if off := math.Abs(c.Attenuation(i, far, 0)); off > 1.0 {
+			t.Fatalf("link %d far attenuation %.2f dB too large", i, off)
+		}
+	}
+	if strong < c.M()*2/3 {
+		t.Fatalf("only %d/%d links respond strongly near their LoS", strong, c.M())
+	}
+}
+
+func TestAttenuationBounded(t *testing.T) {
+	// Attenuation is signed (constructive multipath can raise RSS) but
+	// must stay physically bounded at every position and age.
+	c := testChannel(t, 3)
+	f := func(x, y, days float64) bool {
+		p := geom.Point{X: math.Mod(math.Abs(x), 7.2), Y: math.Mod(math.Abs(y), 4.8)}
+		d := math.Mod(math.Abs(days), 100)
+		for i := 0; i < c.M(); i++ {
+			a := c.Attenuation(i, p, d)
+			if math.IsNaN(a) || a > 40 || a < -25 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTargetRSSMostlyBelowVacant(t *testing.T) {
+	// Blockage dominates: averaged over the sensitive band, a target
+	// reduces RSS for the clear majority of links, though individual
+	// cells may show a constructive-multipath rise.
+	c := testChannel(t, 4)
+	below := 0
+	for i := 0; i < c.M(); i++ {
+		seg := c.Links()[i]
+		var mean float64
+		const steps = 20
+		for k := 0; k < steps; k++ {
+			frac := (float64(k) + 0.5) / steps
+			p := geom.Point{
+				X: seg.A.X + frac*(seg.B.X-seg.A.X),
+				Y: seg.A.Y + frac*(seg.B.Y-seg.A.Y),
+			}
+			mean += c.TargetRSS(i, p, 0) - c.VacantRSS(i, 0)
+		}
+		if mean/steps < 0 {
+			below++
+		}
+	}
+	if below < c.M()*2/3 {
+		t.Fatalf("only %d/%d links show net RSS decrease along their path", below, c.M())
+	}
+}
+
+func TestRSSContinuityAlongLink(t *testing.T) {
+	// Paper property (iii): along a link's path, RSS changes continuously
+	// with target position. Check that adjacent sample points differ by a
+	// bounded amount.
+	c := testChannel(t, 7)
+	link := 0
+	s := c.Links()[link]
+	prev := c.TargetRSS(link, s.A, 0)
+	steps := 200
+	for k := 1; k <= steps; k++ {
+		frac := float64(k) / float64(steps)
+		p := geom.Point{
+			X: s.A.X + frac*(s.B.X-s.A.X),
+			Y: s.A.Y + frac*(s.B.Y-s.A.Y),
+		}
+		cur := c.TargetRSS(link, p, 0)
+		if math.Abs(cur-prev) > 2.5 {
+			t.Fatalf("RSS jump %.2f dB along link at step %d", math.Abs(cur-prev), k)
+		}
+		prev = cur
+	}
+}
+
+func TestTrueFingerprintShape(t *testing.T) {
+	c := testChannel(t, 8)
+	x := c.TrueFingerprint(0)
+	if x.Rows() != c.M() || x.Cols() != c.N() {
+		t.Fatalf("fingerprint %dx%d, want %dx%d", x.Rows(), x.Cols(), c.M(), c.N())
+	}
+	if !x.IsFinite() {
+		t.Fatal("fingerprint contains non-finite entries")
+	}
+}
+
+func TestFingerprintDriftGrowsOverTime(t *testing.T) {
+	c := testChannel(t, 9)
+	x0 := c.TrueFingerprint(0)
+	var prev float64
+	for _, days := range []float64{3, 15, 45, 90} {
+		xt := c.TrueFingerprint(days)
+		var sum float64
+		for i := 0; i < x0.Rows(); i++ {
+			for j := 0; j < x0.Cols(); j++ {
+				sum += math.Abs(xt.At(i, j) - x0.At(i, j))
+			}
+		}
+		mean := sum / float64(x0.Rows()*x0.Cols())
+		if mean <= prev {
+			t.Fatalf("drift at %v days (%.2f dBm) did not grow past %.2f", days, mean, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestVacantDriftMatchesCalibration(t *testing.T) {
+	// Average over many seeds: the realized mean |vacant drift| must match
+	// the calibrated power law.
+	grid, _ := geom.NewGrid(7.2, 4.8, 0.6)
+	links := geom.CrossedDeployment(7.2, 4.8, 10)
+	for _, anchor := range []struct{ days, want float64 }{{5, 2.5}, {45, 6.0}} {
+		var sum float64
+		var count int
+		for seed := uint64(0); seed < 60; seed++ {
+			p := DefaultParams()
+			p.Seed = seed
+			c, err := NewChannel(p, links, grid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v0 := c.TrueVacant(0)
+			vt := c.TrueVacant(anchor.days)
+			for i := range v0 {
+				sum += math.Abs(vt[i] - v0[i])
+				count++
+			}
+		}
+		mean := sum / float64(count)
+		if math.Abs(mean-anchor.want) > 0.45 {
+			t.Fatalf("realized mean drift @%gd = %.2f dBm, want ~%.1f", anchor.days, mean, anchor.want)
+		}
+	}
+}
+
+func TestUndistortedEntriesPinnedToVacant(t *testing.T) {
+	// Entries far outside every link ellipse must track the vacant RSS
+	// (within the small residual scattering term) even after drift.
+	c := testChannel(t, 10)
+	x := c.TrueFingerprint(60)
+	vac := c.TrueVacant(60)
+	for i := 0; i < c.M(); i++ {
+		for j := 0; j < c.N(); j++ {
+			if c.Links()[i].ExcessPathLength(c.Grid().Center(j)) > 2 {
+				if diff := math.Abs(x.At(i, j) - vac[i]); diff > 0.5 {
+					t.Fatalf("far entry (%d,%d) deviates %.2f dB from vacant", i, j, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleNoiseAndQuantization(t *testing.T) {
+	c := testChannel(t, 11)
+	// Samples are integer-quantized with the default params.
+	for k := 0; k < 50; k++ {
+		v := c.SampleVacant(0, 0)
+		if v != math.Round(v) {
+			t.Fatalf("sample %.3f not quantized to 1 dBm", v)
+		}
+	}
+	// Sample mean approaches the true value.
+	var sum float64
+	n := 4000
+	for k := 0; k < n; k++ {
+		sum += c.SampleVacant(0, 0)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-c.VacantRSS(0, 0)) > 0.2 {
+		t.Fatalf("sample mean %.2f vs true %.2f", mean, c.VacantRSS(0, 0))
+	}
+}
+
+func TestMeasureColumnAveragingReducesNoise(t *testing.T) {
+	c := testChannel(t, 12)
+	j := c.N() / 2
+	truth := make([]float64, c.M())
+	p := c.Grid().Center(j)
+	for i := range truth {
+		truth[i] = c.TargetRSS(i, p, 0)
+	}
+	col := c.MeasureColumn(j, 0, 100)
+	for i := range col {
+		if math.Abs(col[i]-truth[i]) > 1.0 {
+			t.Fatalf("averaged column entry %d off by %.2f dB", i, math.Abs(col[i]-truth[i]))
+		}
+	}
+}
+
+func TestMeasureVacantLength(t *testing.T) {
+	c := testChannel(t, 13)
+	if got := len(c.MeasureVacant(0, 10)); got != c.M() {
+		t.Fatalf("MeasureVacant length %d", got)
+	}
+	if got := len(c.MeasureLive(geom.Point{X: 1, Y: 1}, 0)); got != c.M() {
+		t.Fatalf("MeasureLive length %d", got)
+	}
+}
+
+func TestMeasureSamplesClamped(t *testing.T) {
+	c := testChannel(t, 14)
+	// samples < 1 must be treated as 1, not panic or divide by zero.
+	v := c.MeasureVacant(0, 0)
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatal("non-finite measurement with samples=0")
+		}
+	}
+}
+
+func TestQuantizeDisabled(t *testing.T) {
+	grid, _ := geom.NewGrid(6, 6, 0.6)
+	p := DefaultParams()
+	p.QuantizeDB = 0
+	c, err := NewChannel(p, geom.OppositeSidePairs(6, 6, 5), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	integer := true
+	for k := 0; k < 20; k++ {
+		v := c.SampleVacant(0, 0)
+		if v != math.Round(v) {
+			integer = false
+		}
+	}
+	if integer {
+		t.Fatal("quantization appears active despite QuantizeDB=0")
+	}
+}

@@ -1,0 +1,174 @@
+// Package rf simulates the radio substrate the TafLoc paper measures with
+// Atheros AR9331 WiFi NICs: per-link received signal strength (RSS) as a
+// function of deployment geometry, the presence of a device-free target,
+// slow environmental drift, and measurement noise.
+//
+// The forward model is the standard device-free localization model (the
+// same one RTI assumes): a link's RSS equals a static vacant baseline
+// minus an excess attenuation that is largest when the target stands on
+// the link's line of sight and decays with the target's excess path
+// length (Fresnel-zone geometry). On top of it sits a slow temporal drift
+// process calibrated to the paper's measurements (2.5 dBm mean change
+// after 5 days, 6 dBm after 45 days) and additive Gaussian noise within
+// the paper's 1-4 dBm band.
+package rf
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params configures the channel model. The zero value is not usable; start
+// from DefaultParams.
+type Params struct {
+	// TxPowerDBm is the transmit power of every link transmitter.
+	TxPowerDBm float64
+	// PathLossExp is the log-distance path-loss exponent (indoor: 2.5-4).
+	PathLossExp float64
+	// RefLossDB is the path loss at the 1 m reference distance.
+	RefLossDB float64
+	// LinkOffsetStdDB is the standard deviation of the static per-link
+	// multipath offset (fixed furniture, walls).
+	LinkOffsetStdDB float64
+
+	// MaxAttenDB is the mean line-of-sight shadowing attenuation when the
+	// target stands exactly on a link's direct path.
+	MaxAttenDB float64
+	// AttenVarStdDB is the per-link variation of the maximum attenuation.
+	AttenVarStdDB float64
+	// EllipseExcessM is the excess-path-length threshold (metres) of the
+	// sensitivity ellipse: targets with larger excess leave the link
+	// essentially undistorted. 0.3 m ~ a couple of Fresnel zones at 2.4 GHz
+	// widened by body size.
+	EllipseExcessM float64
+	// AttenDecayM is the exponential decay constant (metres of excess path
+	// length) of the shadowing attenuation inside the ellipse.
+	AttenDecayM float64
+	// ResidualAttenDB is the small scattering perturbation a target causes
+	// on links whose ellipse it is outside of.
+	ResidualAttenDB float64
+	// MultipathGainStd is the standard deviation of the static,
+	// spatially-smooth per-(link,cell) multipath gain that modulates the
+	// target's attenuation: indoor links respond heterogeneously to the
+	// same blockage depending on the local multipath structure. The gain
+	// is part of the environment, so fingerprints capture it while
+	// model-based imaging (RTI) does not.
+	MultipathGainStd float64
+	// MultipathSmoothPasses is the number of neighbour-averaging passes
+	// applied to the gain field so it varies smoothly along link paths
+	// (preserving the paper's continuity property).
+	MultipathSmoothPasses int
+	// SenseOffsetStdM is the per-axis standard deviation (metres) of each
+	// link's static sensitivity-region displacement: on real testbeds the
+	// most target-sensitive band is shifted off the geometric LoS by the
+	// local multipath structure. Fingerprints capture the shifted band;
+	// geometric models (RTI's weights) assume the unshifted one.
+	SenseOffsetStdM float64
+
+	// DriftCoeffDB and DriftExp define the mean absolute vacant-RSS drift
+	// after t days: E|drift(t)| = DriftCoeffDB * t^DriftExp. The defaults
+	// are the unique power law through the paper's two anchors
+	// (2.5 dBm @ 5 d, 6 dBm @ 45 d): coeff 1.318, exponent 0.4.
+	DriftCoeffDB float64
+	DriftExp     float64
+	// ShadowDriftShare scales how strongly the target-induced attenuation
+	// pattern drifts relative to the vacant baseline drift.
+	ShadowDriftShare float64
+	// DriftLowRankShare is the fraction of shadowing-drift variance that
+	// lives in a low-rank (link x location separable) component — the part
+	// reference-location measurements can recover. The remainder is
+	// entrywise idiosyncratic and bounds reconstruction accuracy.
+	DriftLowRankShare float64
+	// DriftRank is the rank of the recoverable drift component.
+	DriftRank int
+
+	// NoiseStdDB is the per-sample measurement noise standard deviation.
+	NoiseStdDB float64
+	// QuantizeDB is the RSS reporting granularity (AR9331 reports integer
+	// dBm). Zero disables quantization.
+	QuantizeDB float64
+
+	// Seed selects the random universe (static offsets, drift directions).
+	Seed uint64
+}
+
+// DefaultParams returns the parameter set used throughout the paper
+// reproduction.
+func DefaultParams() Params {
+	return Params{
+		TxPowerDBm:            15,
+		PathLossExp:           3.0,
+		RefLossDB:             40,
+		LinkOffsetStdDB:       3,
+		MaxAttenDB:            8,
+		AttenVarStdDB:         1.5,
+		EllipseExcessM:        0.80,
+		AttenDecayM:           0.12,
+		ResidualAttenDB:       0.3,
+		MultipathGainStd:      0.60,
+		MultipathSmoothPasses: 2,
+		SenseOffsetStdM:       0.40,
+		DriftCoeffDB:          1.318,
+		DriftExp:              0.4,
+		ShadowDriftShare:      0.70,
+		DriftLowRankShare:     0.72,
+		DriftRank:             2,
+		NoiseStdDB:            2.0,
+		QuantizeDB:            1.0,
+		Seed:                  1,
+	}
+}
+
+// Validate reports the first invalid field, or nil.
+func (p Params) Validate() error {
+	switch {
+	case p.PathLossExp <= 0:
+		return fmt.Errorf("rf: PathLossExp must be positive, got %g", p.PathLossExp)
+	case p.MaxAttenDB < 0:
+		return fmt.Errorf("rf: MaxAttenDB must be non-negative, got %g", p.MaxAttenDB)
+	case p.EllipseExcessM <= 0:
+		return fmt.Errorf("rf: EllipseExcessM must be positive, got %g", p.EllipseExcessM)
+	case p.AttenDecayM <= 0:
+		return fmt.Errorf("rf: AttenDecayM must be positive, got %g", p.AttenDecayM)
+	case p.DriftExp < 0 || p.DriftExp > 1:
+		return fmt.Errorf("rf: DriftExp must be in [0,1], got %g", p.DriftExp)
+	case p.DriftLowRankShare < 0 || p.DriftLowRankShare > 1:
+		return fmt.Errorf("rf: DriftLowRankShare must be in [0,1], got %g", p.DriftLowRankShare)
+	case p.ShadowDriftShare < 0:
+		return fmt.Errorf("rf: ShadowDriftShare must be non-negative, got %g", p.ShadowDriftShare)
+	case p.DriftRank < 1:
+		return fmt.Errorf("rf: DriftRank must be at least 1, got %d", p.DriftRank)
+	case p.MultipathGainStd < 0:
+		return fmt.Errorf("rf: MultipathGainStd must be non-negative, got %g", p.MultipathGainStd)
+	case p.MultipathSmoothPasses < 0:
+		return fmt.Errorf("rf: MultipathSmoothPasses must be non-negative, got %d", p.MultipathSmoothPasses)
+	case p.SenseOffsetStdM < 0:
+		return fmt.Errorf("rf: SenseOffsetStdM must be non-negative, got %g", p.SenseOffsetStdM)
+	case p.NoiseStdDB < 0:
+		return fmt.Errorf("rf: NoiseStdDB must be non-negative, got %g", p.NoiseStdDB)
+	case p.QuantizeDB < 0:
+		return fmt.Errorf("rf: QuantizeDB must be non-negative, got %g", p.QuantizeDB)
+	}
+	return nil
+}
+
+// MaskExcessM returns the excess-path-length threshold a deployed system
+// should use to classify entries as undistorted: the physical sensitivity
+// ellipse widened by a safety margin covering the multipath displacement
+// of the sensitive band. Classifying a truly-distorted entry as
+// undistorted pins it to a wrong "exact" value, which is far more harmful
+// than conservatively reconstructing a few extra entries.
+func (p Params) MaskExcessM() float64 {
+	return p.EllipseExcessM + 1.5*p.SenseOffsetStdM
+}
+
+// DriftStd returns the standard deviation of the vacant-RSS drift after
+// t days, derived from the calibrated mean absolute drift
+// (E|N(0,s^2)| = s*sqrt(2/pi)).
+func (p Params) DriftStd(days float64) float64 {
+	if days <= 0 {
+		return 0
+	}
+	mean := p.DriftCoeffDB * math.Pow(days, p.DriftExp)
+	return mean / 0.7978845608028654
+}

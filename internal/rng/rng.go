@@ -1,0 +1,157 @@
+// Package rng provides the deterministic, splittable random-number
+// generation used by the RF simulator and the experiment harnesses.
+//
+// Experiments must be exactly reproducible across runs and across
+// machines, so every stochastic component draws from an explicitly seeded
+// Source. Sources are splittable: a parent source derives independent
+// child streams by name, so adding a new consumer never perturbs the draws
+// seen by existing ones (a classic reproducibility bug in simulators that
+// share one global stream).
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Source is a deterministic pseudo-random source (xoshiro256**) with
+// convenience samplers. It is not safe for concurrent use; split one
+// child per goroutine instead.
+type Source struct {
+	s [4]uint64
+	// cached second Box-Muller variate
+	hasGauss bool
+	gauss    float64
+}
+
+// New returns a Source seeded from seed via splitmix64, which guarantees a
+// well-mixed nonzero internal state for any seed, including 0.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range src.s {
+		src.s[i] = next()
+	}
+	return &src
+}
+
+// Split derives an independent child stream identified by name. The child
+// is a pure function of the parent's seed material and the name, not of
+// how many values the parent has already produced.
+func (s *Source) Split(name string) *Source {
+	h := fnv.New64a()
+	var b [8]byte
+	for i, w := range s.s {
+		putUint64(b[:], w)
+		h.Write(b[:])
+		_ = i
+	}
+	h.Write([]byte(name))
+	return New(h.Sum64())
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0,1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0,n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Uniform returns a uniform value in [lo,hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Norm returns a standard normal variate (Box-Muller, cached pair).
+func (s *Source) Norm() float64 {
+	if s.hasGauss {
+		s.hasGauss = false
+		return s.gauss
+	}
+	var u1 float64
+	for u1 == 0 {
+		u1 = s.Float64()
+	}
+	u2 := s.Float64()
+	r := math.Sqrt(-2 * math.Log(u1))
+	s.gauss = r * math.Sin(2*math.Pi*u2)
+	s.hasGauss = true
+	return r * math.Cos(2*math.Pi*u2)
+}
+
+// Gaussian returns a normal variate with the given mean and standard
+// deviation.
+func (s *Source) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*s.Norm()
+}
+
+// Perm returns a random permutation of [0,n) (Fisher-Yates).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Sample returns k distinct indices drawn uniformly from [0,n). It panics
+// if k > n.
+func (s *Source) Sample(n, k int) []int {
+	if k > n {
+		panic("rng: Sample k > n")
+	}
+	return s.Perm(n)[:k]
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.Float64() < p }
+
+// Exponential returns an exponential variate with the given rate.
+func (s *Source) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential with non-positive rate")
+	}
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return -math.Log(u) / rate
+}

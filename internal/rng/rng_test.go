@@ -1,0 +1,200 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams from different seeds collide %d/64 times", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	s := New(0)
+	if s.Uint64() == 0 && s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Fatal("zero seed produced a degenerate stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split("noise")
+	c2 := parent.Split("drift")
+	// Children with different names must differ.
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first values")
+	}
+	// Splitting again with the same name reproduces the same stream,
+	// regardless of how much the parent has been consumed since.
+	parent.Uint64()
+	parent.Uint64()
+	c1b := parent.Split("noise")
+	ref := parent.Split("noise")
+	for i := 0; i < 10; i++ {
+		if c1b.Uint64() != ref.Uint64() {
+			t.Fatal("same-name splits must be reproducible")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	f := func(_ int64) bool {
+		v := s.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRangeAndPanic(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(-3, 2)
+		if v < -3 || v >= 2 {
+			t.Fatalf("Uniform out of range: %g", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(6)
+	n := 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Norm mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("Norm variance = %g, want ~1", variance)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	s := New(7)
+	n := 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Gaussian(5, 2)
+	}
+	if mean := sum / float64(n); math.Abs(mean-5) > 0.05 {
+		t.Fatalf("Gaussian mean = %g, want ~5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(8)
+	for trial := 0; trial < 50; trial++ {
+		n := s.Intn(20) + 1
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	s := New(9)
+	got := s.Sample(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("Sample length %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Sample %v invalid", got)
+		}
+		seen[v] = true
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(2,3) did not panic")
+		}
+	}()
+	s.Sample(2, 3)
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(10)
+	n := 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(n)
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %g", p)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(11)
+	n := 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Exponential(2)
+		if v < 0 {
+			t.Fatal("negative exponential variate")
+		}
+		sum += v
+	}
+	if mean := sum / float64(n); math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Exponential(2) mean = %g, want ~0.5", mean)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exponential(0) did not panic")
+		}
+	}()
+	s.Exponential(0)
+}

@@ -1,0 +1,142 @@
+package rti
+
+import (
+	"testing"
+
+	"tafloc/internal/geom"
+	"tafloc/internal/rf"
+)
+
+func testSetup(t *testing.T, seed uint64) (*Imager, *rf.Channel) {
+	t.Helper()
+	grid, err := geom.NewGrid(7.2, 4.8, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := geom.CrossedDeployment(7.2, 4.8, 10)
+	p := rf.DefaultParams()
+	p.Seed = seed
+	ch, err := rf.NewChannel(p, links, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := NewImager(links, grid, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im, ch
+}
+
+func TestNewImagerValidation(t *testing.T) {
+	grid, _ := geom.NewGrid(6, 6, 0.6)
+	links := geom.OppositeSidePairs(6, 6, 4)
+	if _, err := NewImager(nil, grid, DefaultOptions()); err == nil {
+		t.Fatal("accepted no links")
+	}
+	if _, err := NewImager(links, nil, DefaultOptions()); err == nil {
+		t.Fatal("accepted nil grid")
+	}
+	bad := DefaultOptions()
+	bad.SigmaPixel = 0
+	if _, err := NewImager(links, grid, bad); err == nil {
+		t.Fatal("accepted zero SigmaPixel")
+	}
+}
+
+func TestImageShapeAndValidation(t *testing.T) {
+	im, _ := testSetup(t, 1)
+	img, err := im.Image(make([]float64, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != im.Grid().Cells() {
+		t.Fatalf("image length %d", len(img))
+	}
+	if _, err := im.Image(make([]float64, 3)); err == nil {
+		t.Fatal("accepted wrong-length deltaY")
+	}
+}
+
+func TestZeroDeltaGivesFlatImage(t *testing.T) {
+	im, _ := testSetup(t, 2)
+	img, err := im.Image(make([]float64, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range img {
+		if v != 0 {
+			t.Fatalf("zero input produced nonzero image at %d: %g", j, v)
+		}
+	}
+}
+
+func TestImagePeaksNearTarget(t *testing.T) {
+	im, ch := testSetup(t, 3)
+	target := geom.Point{X: 3.3, Y: 2.1}
+	vac := ch.TrueVacant(0)
+	live := make([]float64, ch.M())
+	for i := range live {
+		live[i] = ch.TargetRSS(i, target, 0)
+	}
+	got, err := im.Locate(vac, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.Dist(target); d > 1.5 {
+		t.Fatalf("RTI noise-free error %.2f m too large", d)
+	}
+}
+
+func TestLocateRobustToNoise(t *testing.T) {
+	im, ch := testSetup(t, 4)
+	targets := []geom.Point{
+		{X: 1.5, Y: 1.5}, {X: 3.9, Y: 2.7}, {X: 5.7, Y: 3.9},
+	}
+	var total float64
+	for _, target := range targets {
+		vac := ch.MeasureVacant(0, 20)
+		live := make([]float64, ch.M())
+		const k = 10
+		for s := 0; s < k; s++ {
+			y := ch.MeasureLive(target, 0)
+			for i := range live {
+				live[i] += y[i] / k
+			}
+		}
+		got, err := im.Locate(vac, live)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += got.Dist(target)
+	}
+	if mean := total / float64(len(targets)); mean > 2.0 {
+		t.Fatalf("RTI noisy mean error %.2f m too large", mean)
+	}
+}
+
+func TestLocateNoFingerprintDependence(t *testing.T) {
+	// RTI must keep working after months of drift because it only needs a
+	// fresh vacant capture, not fingerprints.
+	im, ch := testSetup(t, 5)
+	target := geom.Point{X: 4.5, Y: 2.1}
+	const days = 90
+	vac := ch.TrueVacant(days)
+	live := make([]float64, ch.M())
+	for i := range live {
+		live[i] = ch.TargetRSS(i, target, days)
+	}
+	got, err := im.Locate(vac, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.Dist(target); d > 1.8 {
+		t.Fatalf("RTI 90-day error %.2f m too large", d)
+	}
+}
+
+func TestLocateValidatesLengths(t *testing.T) {
+	im, _ := testSetup(t, 6)
+	if _, err := im.Locate(make([]float64, 10), make([]float64, 4)); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+}

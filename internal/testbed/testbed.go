@@ -1,0 +1,186 @@
+// Package testbed models the physical experiment deployment from the
+// paper's Fig 2 — a room with WiFi transceivers along its sides and a
+// gridded monitoring area — plus the human survey process whose cost
+// TafLoc reduces: a surveyor stands in each grid cell while 100 RSS
+// samples are collected at 1 Hz.
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"tafloc/internal/geom"
+	"tafloc/internal/mat"
+	"tafloc/internal/rf"
+)
+
+// Config describes a deployment: room extent, monitored grid, and link
+// layout.
+type Config struct {
+	// RoomW, RoomH are the room extent in metres (paper: 12 x 9).
+	RoomW, RoomH float64
+	// CellSize is the grid cell side in metres (paper: 0.6).
+	CellSize float64
+	// Links is the number of deployed links (paper: 10).
+	Links int
+	// SamplesPerCell is the number of RSS samples collected per surveyed
+	// cell (paper: 100, one per second).
+	SamplesPerCell int
+	// SampleInterval is the time between samples (paper: 1 s).
+	SampleInterval time.Duration
+	// RF configures the channel model.
+	RF rf.Params
+}
+
+// PaperConfig returns the deployment of the paper's evaluation: a
+// 12 m x 9 m room whose monitored sub-area holds 96 cells of 0.6 m
+// (12 x 8 cells = 7.2 m x 4.8 m), covered by 10 links.
+func PaperConfig() Config {
+	return Config{
+		RoomW: 7.2, RoomH: 4.8,
+		CellSize:       0.6,
+		Links:          10,
+		SamplesPerCell: 100,
+		SampleInterval: time.Second,
+		RF:             rf.DefaultParams(),
+	}
+}
+
+// SquareConfig returns a deployment over an edge x edge area, used by the
+// Fig 4 area sweep. The link count scales with the perimeter (one link
+// endpoint pair per ~2.9 m of perimeter, matching 10 links for the paper
+// room) so larger areas keep comparable coverage density.
+func SquareConfig(edge float64) Config {
+	c := PaperConfig()
+	c.RoomW, c.RoomH = edge, edge
+	perimeter := 4 * edge
+	links := int(perimeter/2.9 + 0.5)
+	if links < 4 {
+		links = 4
+	}
+	c.Links = links
+	return c
+}
+
+// Validate reports the first invalid field, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.RoomW <= 0 || c.RoomH <= 0:
+		return fmt.Errorf("testbed: invalid room %gx%g", c.RoomW, c.RoomH)
+	case c.CellSize <= 0:
+		return fmt.Errorf("testbed: invalid cell size %g", c.CellSize)
+	case c.Links < 1:
+		return fmt.Errorf("testbed: need at least one link, got %d", c.Links)
+	case c.SamplesPerCell < 1:
+		return fmt.Errorf("testbed: SamplesPerCell must be positive, got %d", c.SamplesPerCell)
+	case c.SampleInterval <= 0:
+		return fmt.Errorf("testbed: SampleInterval must be positive, got %v", c.SampleInterval)
+	}
+	return c.RF.Validate()
+}
+
+// Deployment is an instantiated testbed: grid, links, and simulated
+// channel.
+type Deployment struct {
+	Config  Config
+	Grid    *geom.Grid
+	Channel *rf.Channel
+}
+
+// New builds a deployment from cfg.
+func New(cfg Config) (*Deployment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	grid, err := geom.NewGrid(cfg.RoomW, cfg.RoomH, cfg.CellSize)
+	if err != nil {
+		return nil, err
+	}
+	links := geom.CrossedDeployment(cfg.RoomW, cfg.RoomH, cfg.Links)
+	ch, err := rf.NewChannel(cfg.RF, links, grid)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{Config: cfg, Grid: grid, Channel: ch}, nil
+}
+
+// SurveyCost is the human time cost of a fingerprint collection campaign.
+type SurveyCost struct {
+	CellsVisited int
+	Samples      int
+	Duration     time.Duration
+}
+
+// Hours returns the cost in hours, the unit of the paper's Fig 4.
+func (s SurveyCost) Hours() float64 { return s.Duration.Hours() }
+
+// Add accumulates another cost into s.
+func (s *SurveyCost) Add(o SurveyCost) {
+	s.CellsVisited += o.CellsVisited
+	s.Samples += o.Samples
+	s.Duration += o.Duration
+}
+
+// Survey simulates a full-site fingerprint survey at the given age: the
+// surveyor visits every grid cell and the collector averages
+// SamplesPerCell noisy samples per link. It returns the measured
+// fingerprint matrix and the labor cost.
+func (d *Deployment) Survey(days float64) (*mat.Matrix, SurveyCost) {
+	x, cost := d.SurveyCells(allCells(d.Grid.Cells()), days)
+	return x, cost
+}
+
+// SurveyCells measures fingerprint columns for the listed cells only,
+// returning an M x len(cells) matrix whose k-th column corresponds to
+// cells[k]. This is TafLoc's reference-location measurement pass.
+func (d *Deployment) SurveyCells(cells []int, days float64) (*mat.Matrix, SurveyCost) {
+	m := d.Channel.M()
+	x := mat.New(m, len(cells))
+	for k, j := range cells {
+		col := d.Channel.MeasureColumn(j, days, d.Config.SamplesPerCell)
+		x.SetCol(k, col)
+	}
+	cost := SurveyCost{
+		CellsVisited: len(cells),
+		Samples:      len(cells) * d.Config.SamplesPerCell,
+		Duration: time.Duration(len(cells)*d.Config.SamplesPerCell) *
+			d.Config.SampleInterval,
+	}
+	return x, cost
+}
+
+// VacantCapture measures the empty-room RSS of every link, averaging the
+// given number of samples. Its cost is negligible (no surveyor walking)
+// and excluded from SurveyCost, matching the paper's accounting.
+func (d *Deployment) VacantCapture(days float64, samples int) []float64 {
+	return d.Channel.MeasureVacant(days, samples)
+}
+
+// FullSurveyCost returns the cost of surveying every cell without
+// performing the measurements — the "existing systems" line of Fig 4.
+func (d *Deployment) FullSurveyCost() SurveyCost {
+	n := d.Grid.Cells()
+	return SurveyCost{
+		CellsVisited: n,
+		Samples:      n * d.Config.SamplesPerCell,
+		Duration:     time.Duration(n*d.Config.SamplesPerCell) * d.Config.SampleInterval,
+	}
+}
+
+// ReferenceSurveyCost returns the cost of surveying n reference cells —
+// the TafLoc line of Fig 4.
+func (d *Deployment) ReferenceSurveyCost(n int) SurveyCost {
+	return SurveyCost{
+		CellsVisited: n,
+		Samples:      n * d.Config.SamplesPerCell,
+		Duration:     time.Duration(n*d.Config.SamplesPerCell) * d.Config.SampleInterval,
+	}
+}
+
+func allCells(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPaperConfigValid(t *testing.T) {
+	cfg := PaperConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Grid.Cells() != 96 {
+		t.Fatalf("paper grid has %d cells, want 96", d.Grid.Cells())
+	}
+	if d.Channel.M() != 10 {
+		t.Fatalf("paper deployment has %d links, want 10", d.Channel.M())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.RoomW = 0 },
+		func(c *Config) { c.CellSize = -1 },
+		func(c *Config) { c.Links = 0 },
+		func(c *Config) { c.SamplesPerCell = 0 },
+		func(c *Config) { c.SampleInterval = 0 },
+		func(c *Config) { c.RF.PathLossExp = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := PaperConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: New accepted invalid config", i)
+		}
+	}
+}
+
+func TestSquareConfigScalesLinks(t *testing.T) {
+	small := SquareConfig(6)
+	big := SquareConfig(36)
+	if small.Links >= big.Links {
+		t.Fatalf("links must scale with area: %d vs %d", small.Links, big.Links)
+	}
+	// 6 m edge: perimeter 24 m -> ~8 links; must be at least the minimum 4.
+	if small.Links < 4 {
+		t.Fatalf("too few links: %d", small.Links)
+	}
+	if _, err := New(big); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullSurveyCostMatchesPaperArithmetic(t *testing.T) {
+	// The paper: 6 m x 6 m area, 0.6 m cells -> 100 cells x 100 s
+	// = 10000 s ~ 2.78 h.
+	cfg := SquareConfig(6)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := d.FullSurveyCost()
+	if cost.CellsVisited != 100 {
+		t.Fatalf("cells = %d, want 100", cost.CellsVisited)
+	}
+	if got := cost.Hours(); math.Abs(got-2.7777) > 0.01 {
+		t.Fatalf("full survey = %.3f h, want ~2.78", got)
+	}
+	// TafLoc with 10 reference cells: 1000 s ~ 0.28 h.
+	ref := d.ReferenceSurveyCost(10)
+	if got := ref.Hours(); math.Abs(got-0.2777) > 0.01 {
+		t.Fatalf("reference survey = %.3f h, want ~0.28", got)
+	}
+}
+
+func TestSurveyMatchesGroundTruth(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.SamplesPerCell = 100
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, cost := d.Survey(0)
+	truth := d.Channel.TrueFingerprint(0)
+	if x.Rows() != truth.Rows() || x.Cols() != truth.Cols() {
+		t.Fatalf("survey shape %dx%d", x.Rows(), x.Cols())
+	}
+	var worst float64
+	for i := 0; i < x.Rows(); i++ {
+		for j := 0; j < x.Cols(); j++ {
+			if e := math.Abs(x.At(i, j) - truth.At(i, j)); e > worst {
+				worst = e
+			}
+		}
+	}
+	if worst > 1.2 {
+		t.Fatalf("surveyed fingerprint deviates %.2f dB from truth", worst)
+	}
+	if cost.CellsVisited != 96 || cost.Samples != 9600 {
+		t.Fatalf("cost = %+v", cost)
+	}
+	if cost.Duration != 9600*time.Second {
+		t.Fatalf("duration = %v", cost.Duration)
+	}
+}
+
+func TestSurveyCellsSubset(t *testing.T) {
+	d, err := New(PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []int{0, 10, 50}
+	x, cost := d.SurveyCells(cells, 0)
+	if x.Cols() != 3 || x.Rows() != d.Channel.M() {
+		t.Fatalf("subset survey shape %dx%d", x.Rows(), x.Cols())
+	}
+	if cost.CellsVisited != 3 {
+		t.Fatalf("cost cells = %d", cost.CellsVisited)
+	}
+	// Column k must match a direct measurement of the same cell (within
+	// noise).
+	truth := d.Channel.TrueFingerprint(0)
+	for k, j := range cells {
+		for i := 0; i < x.Rows(); i++ {
+			if math.Abs(x.At(i, k)-truth.At(i, j)) > 1.2 {
+				t.Fatalf("subset column %d link %d deviates", k, i)
+			}
+		}
+	}
+}
+
+func TestVacantCapture(t *testing.T) {
+	d, err := New(PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := d.VacantCapture(0, 50)
+	truth := d.Channel.TrueVacant(0)
+	for i := range v {
+		if math.Abs(v[i]-truth[i]) > 1.0 {
+			t.Fatalf("vacant capture link %d off by %.2f", i, math.Abs(v[i]-truth[i]))
+		}
+	}
+}
+
+func TestSurveyCostAdd(t *testing.T) {
+	a := SurveyCost{CellsVisited: 2, Samples: 200, Duration: 200 * time.Second}
+	b := SurveyCost{CellsVisited: 3, Samples: 300, Duration: 300 * time.Second}
+	a.Add(b)
+	if a.CellsVisited != 5 || a.Samples != 500 || a.Duration != 500*time.Second {
+		t.Fatalf("Add = %+v", a)
+	}
+}

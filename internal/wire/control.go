@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Control-plane message types.
+const (
+	// MsgStartSurvey asks agents to tag subsequent reports as survey
+	// samples for the given cell.
+	MsgStartSurvey = "start_survey"
+	// MsgStopSurvey ends the current survey pass.
+	MsgStopSurvey = "stop_survey"
+	// MsgVacantCapture asks agents to report vacant-tagged samples.
+	MsgVacantCapture = "vacant_capture"
+	// MsgSnapshot asks the collector to emit its aggregated state.
+	MsgSnapshot = "snapshot"
+	// MsgAck is the generic success reply.
+	MsgAck = "ack"
+	// MsgError is the generic failure reply.
+	MsgError = "error"
+)
+
+// MaxControlMessage bounds a control frame to keep a corrupted length
+// prefix from allocating unbounded memory.
+const MaxControlMessage = 1 << 20
+
+// ControlMessage is one control-plane message: length-prefixed JSON over
+// a reliable stream.
+type ControlMessage struct {
+	// Type is one of the Msg* constants.
+	Type string `json:"type"`
+	// Cell is the surveyed grid cell for MsgStartSurvey.
+	Cell int `json:"cell,omitempty"`
+	// Samples is the requested sample count for survey/vacant captures.
+	Samples int `json:"samples,omitempty"`
+	// Detail carries human-readable context for MsgError.
+	Detail string `json:"detail,omitempty"`
+}
+
+// WriteControl writes msg to w as a 4-byte big-endian length followed by
+// the JSON body.
+func WriteControl(w io.Writer, msg ControlMessage) error {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("wire: marshal control: %w", err)
+	}
+	if len(body) > MaxControlMessage {
+		return fmt.Errorf("wire: control message %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadControl reads one length-prefixed control message from r.
+func ReadControl(r io.Reader) (ControlMessage, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return ControlMessage{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxControlMessage {
+		return ControlMessage{}, fmt.Errorf("wire: control message %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return ControlMessage{}, err
+	}
+	var msg ControlMessage
+	if err := json.Unmarshal(body, &msg); err != nil {
+		return ControlMessage{}, fmt.Errorf("wire: unmarshal control: %w", err)
+	}
+	return msg, nil
+}
+
+// ControlConn wraps a stream with buffered control-message framing.
+type ControlConn struct {
+	r *bufio.Reader
+	w io.Writer
+}
+
+// NewControlConn wraps rw.
+func NewControlConn(rw io.ReadWriter) *ControlConn {
+	return &ControlConn{r: bufio.NewReader(rw), w: rw}
+}
+
+// Send writes one message.
+func (c *ControlConn) Send(msg ControlMessage) error { return WriteControl(c.w, msg) }
+
+// Recv reads one message.
+func (c *ControlConn) Recv() (ControlMessage, error) { return ReadControl(c.r) }

@@ -1,0 +1,142 @@
+// Package wire defines the measurement-collection protocol between link
+// agents (the simulated NIC drivers) and the collector: a compact binary
+// data-plane frame carrying one RSS report, and length-prefixed JSON
+// control-plane messages for survey orchestration.
+//
+// Decoding follows the layered style of gopacket's DecodingLayer: a
+// frame is parsed in place into a preallocated struct, with explicit
+// validation of magic, version, length, and checksum. Encoding appends to
+// a caller-supplied buffer so hot paths stay allocation-free.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+)
+
+// Protocol constants.
+const (
+	// Magic identifies a TafLoc data-plane frame ("TF").
+	Magic = 0x5446
+	// Version is the current protocol version.
+	Version = 1
+	// FrameSize is the fixed wire size of an RSSReport frame.
+	FrameSize = 2 + 1 + 1 + 2 + 4 + 8 + 4 + 4 // = 26 bytes
+)
+
+// Frame flags.
+const (
+	// FlagVacant marks a sample taken with no target present.
+	FlagVacant uint8 = 1 << 0
+	// FlagSurvey marks a sample taken during a fingerprint survey; the
+	// surveyed cell travels in the Cell field of the survey session, not
+	// in the frame.
+	FlagSurvey uint8 = 1 << 1
+)
+
+// Decode errors.
+var (
+	ErrShortFrame  = errors.New("wire: frame too short")
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrBadChecksum = errors.New("wire: checksum mismatch")
+)
+
+// RSSReport is one RSS measurement from one link, the data-plane unit.
+//
+// Wire layout (big endian):
+//
+//	magic    u16
+//	version  u8
+//	flags    u8
+//	linkID   u16
+//	seq      u32
+//	ts       i64  (unix nanoseconds)
+//	rssMilli i32  (RSS in milli-dBm: -47.25 dBm = -47250)
+//	crc32    u32  (IEEE, over all preceding bytes)
+type RSSReport struct {
+	Flags    uint8
+	LinkID   uint16
+	Seq      uint32
+	Time     time.Time
+	RSSMilli int32
+}
+
+// RSS returns the report's RSS in dBm.
+func (r *RSSReport) RSS() float64 { return float64(r.RSSMilli) / 1000 }
+
+// SetRSS stores an RSS value in dBm, saturating at the int32 milli-dBm
+// range.
+func (r *RSSReport) SetRSS(dbm float64) {
+	v := dbm * 1000
+	switch {
+	case v > math.MaxInt32:
+		r.RSSMilli = math.MaxInt32
+	case v < math.MinInt32:
+		r.RSSMilli = math.MinInt32
+	default:
+		r.RSSMilli = int32(math.Round(v))
+	}
+}
+
+// Vacant reports whether the sample was taken with no target present.
+func (r *RSSReport) Vacant() bool { return r.Flags&FlagVacant != 0 }
+
+// AppendTo appends the encoded frame to buf and returns the extended
+// slice.
+func (r *RSSReport) AppendTo(buf []byte) []byte {
+	start := len(buf)
+	buf = append(buf,
+		byte(Magic>>8), byte(Magic&0xFF),
+		Version,
+		r.Flags,
+		byte(r.LinkID>>8), byte(r.LinkID),
+	)
+	buf = binary.BigEndian.AppendUint32(buf, r.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Time.UnixNano()))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(r.RSSMilli))
+	crc := crc32.ChecksumIEEE(buf[start:])
+	return binary.BigEndian.AppendUint32(buf, crc)
+}
+
+// Encode returns the frame as a fresh byte slice.
+func (r *RSSReport) Encode() []byte {
+	return r.AppendTo(make([]byte, 0, FrameSize))
+}
+
+// DecodeFromBytes parses a frame in place, validating structure and
+// checksum. The input slice is not retained.
+func (r *RSSReport) DecodeFromBytes(data []byte) error {
+	if len(data) < FrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrShortFrame, len(data))
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != Magic {
+		return ErrBadMagic
+	}
+	if data[2] != Version {
+		return fmt.Errorf("%w: %d", ErrBadVersion, data[2])
+	}
+	want := binary.BigEndian.Uint32(data[FrameSize-4 : FrameSize])
+	if crc32.ChecksumIEEE(data[:FrameSize-4]) != want {
+		return ErrBadChecksum
+	}
+	r.Flags = data[3]
+	r.LinkID = binary.BigEndian.Uint16(data[4:6])
+	r.Seq = binary.BigEndian.Uint32(data[6:10])
+	r.Time = time.Unix(0, int64(binary.BigEndian.Uint64(data[10:18])))
+	r.RSSMilli = int32(binary.BigEndian.Uint32(data[18:22]))
+	return nil
+}
+
+// String renders the report for logs.
+func (r *RSSReport) String() string {
+	kind := "live"
+	if r.Vacant() {
+		kind = "vacant"
+	}
+	return fmt.Sprintf("RSSReport{link=%d seq=%d %s %.2f dBm}", r.LinkID, r.Seq, kind, r.RSS())
+}

@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleReport() RSSReport {
+	return RSSReport{
+		Flags:  FlagVacant,
+		LinkID: 7,
+		Seq:    1234,
+		Time:   time.Unix(0, 1718000000123456789),
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	r := sampleReport()
+	r.SetRSS(-47.25)
+	buf := r.Encode()
+	if len(buf) != FrameSize {
+		t.Fatalf("frame size %d, want %d", len(buf), FrameSize)
+	}
+	var got RSSReport
+	if err := got.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.Flags != r.Flags || got.LinkID != r.LinkID || got.Seq != r.Seq {
+		t.Fatalf("header mismatch: %+v vs %+v", got, r)
+	}
+	if !got.Time.Equal(r.Time) {
+		t.Fatalf("time mismatch: %v vs %v", got.Time, r.Time)
+	}
+	if math.Abs(got.RSS()-(-47.25)) > 1e-9 {
+		t.Fatalf("RSS = %g, want -47.25", got.RSS())
+	}
+	if !got.Vacant() {
+		t.Fatal("vacant flag lost")
+	}
+}
+
+// Property: encode/decode is the identity for arbitrary field values.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(flags uint8, link uint16, seq uint32, tsNano int64, rssMilli int32) bool {
+		r := RSSReport{
+			Flags:    flags,
+			LinkID:   link,
+			Seq:      seq,
+			Time:     time.Unix(0, tsNano),
+			RSSMilli: rssMilli,
+		}
+		var got RSSReport
+		if err := got.DecodeFromBytes(r.Encode()); err != nil {
+			return false
+		}
+		return got.Flags == flags && got.LinkID == link && got.Seq == seq &&
+			got.Time.UnixNano() == tsNano && got.RSSMilli == rssMilli
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetRSSSaturates(t *testing.T) {
+	var r RSSReport
+	r.SetRSS(1e12)
+	if r.RSSMilli != math.MaxInt32 {
+		t.Fatalf("positive saturation failed: %d", r.RSSMilli)
+	}
+	r.SetRSS(-1e12)
+	if r.RSSMilli != math.MinInt32 {
+		t.Fatalf("negative saturation failed: %d", r.RSSMilli)
+	}
+	r.SetRSS(-55.5)
+	if r.RSSMilli != -55500 {
+		t.Fatalf("SetRSS(-55.5) = %d", r.RSSMilli)
+	}
+}
+
+func TestDecodeShortFrame(t *testing.T) {
+	var r RSSReport
+	if err := r.DecodeFromBytes(make([]byte, FrameSize-1)); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("want ErrShortFrame, got %v", err)
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	r0 := sampleReport()
+	buf := r0.Encode()
+	buf[0] = 0xFF
+	var r RSSReport
+	if err := r.DecodeFromBytes(buf); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestDecodeBadVersion(t *testing.T) {
+	r0 := sampleReport()
+	buf := r0.Encode()
+	buf[2] = 99
+	var r RSSReport
+	if err := r.DecodeFromBytes(buf); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestDecodeCorruptionDetected(t *testing.T) {
+	// Flipping any single payload byte must fail the checksum (or the
+	// magic/version checks for the first three bytes).
+	orig := sampleReport()
+	orig.SetRSS(-60)
+	encoded := orig.Encode()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		buf := append([]byte(nil), encoded...)
+		pos := rng.Intn(FrameSize)
+		bit := byte(1) << rng.Intn(8)
+		buf[pos] ^= bit
+		var r RSSReport
+		if err := r.DecodeFromBytes(buf); err == nil {
+			t.Fatalf("corruption at byte %d bit %d undetected", pos, bit)
+		}
+	}
+}
+
+func TestAppendToReusesBuffer(t *testing.T) {
+	r := sampleReport()
+	buf := make([]byte, 0, 3*FrameSize)
+	buf = r.AppendTo(buf)
+	buf = r.AppendTo(buf)
+	if len(buf) != 2*FrameSize {
+		t.Fatalf("appended length %d", len(buf))
+	}
+	// Both frames decode independently.
+	var a, b RSSReport
+	if err := a.DecodeFromBytes(buf[:FrameSize]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DecodeFromBytes(buf[FrameSize:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := sampleReport()
+	if s := r.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []ControlMessage{
+		{Type: MsgStartSurvey, Cell: 42, Samples: 100},
+		{Type: MsgStopSurvey},
+		{Type: MsgVacantCapture, Samples: 20},
+		{Type: MsgSnapshot},
+		{Type: MsgError, Detail: "boom"},
+	}
+	for _, m := range msgs {
+		if err := WriteControl(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadControl(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestControlConnPipe(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewControlConn(&buf)
+	if err := c.Send(ControlMessage{Type: MsgAck}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgAck {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestReadControlOversizeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // absurd length prefix
+	if _, err := ReadControl(&buf); err == nil {
+		t.Fatal("oversize length accepted")
+	}
+}
+
+func TestReadControlTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteControl(&buf, ControlMessage{Type: MsgAck}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadControl(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestReadControlBadJSON(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("{not json")
+	var hdr [4]byte
+	hdr[3] = byte(len(body))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	if _, err := ReadControl(&buf); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
