@@ -1,7 +1,12 @@
 package tafloc_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"tafloc"
 )
@@ -207,4 +212,113 @@ func BenchmarkFullSurvey(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		dep.Survey(0)
 	}
+}
+
+// ---- Serving-layer and parallelism benchmarks ----
+
+// BenchmarkParallelReconstruct measures one LoLi-IR update on a 12 m x
+// 12 m deployment (400 cells, 17 links) with the parallel kernels forced
+// serial vs GOMAXPROCS-sized. The two sub-benchmarks compute bitwise
+// identical results; the ratio of their ns/op is the fan-out speedup.
+func BenchmarkParallelReconstruct(b *testing.B) {
+	dep, err := tafloc.NewDeployment(tafloc.SquareConfig(12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := tafloc.BuildSystem(dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refCols, _ := dep.SurveyCells(sys.References(), 45)
+	vacant := dep.VacantCapture(45, 100)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			prev := tafloc.SetWorkers(bc.workers)
+			defer tafloc.SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Update(refCols, vacant); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeThroughput measures sustainable end-to-end ingest of the
+// multi-zone service: four zones, parallel producers, bounded queues
+// providing backpressure, one batched match query per processing round.
+// One op is one accepted report batch (6 reports).
+func BenchmarkServeThroughput(b *testing.B) {
+	const zones = 4
+	const preparedBatches = 32
+	cfg := tafloc.PaperConfig()
+	cfg.RoomW, cfg.RoomH = 3.6, 2.4
+	cfg.Links = 6
+	cfg.SamplesPerCell = 5
+	svc := tafloc.NewService(tafloc.ServiceConfig{
+		Window:            4,
+		DetectThresholdDB: 0.25,
+		QueueDepth:        4096,
+	})
+	ids := make([]string, zones)
+	batches := make([][][]tafloc.ZoneReport, zones)
+	for z := 0; z < zones; z++ {
+		dep, err := tafloc.NewDeployment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := tafloc.BuildSystem(dep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[z] = fmt.Sprintf("zone-%d", z)
+		if err := svc.AddZone(ids[z], sys); err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < preparedBatches; k++ {
+			p := tafloc.Point{
+				X: 0.3 + 3.0*float64(k)/preparedBatches,
+				Y: 0.3 + 1.8*float64(k%7)/7,
+			}
+			y := dep.Channel.MeasureLive(p, 0)
+			batch := make([]tafloc.ZoneReport, len(y))
+			for i, v := range y {
+				batch[i] = tafloc.ZoneReport{Link: i, RSS: v}
+			}
+			batches[z] = append(batches[z], batch)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := svc.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	var stream atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(stream.Add(1)) * 7919 // distinct start per producer
+		for pb.Next() {
+			z := i % zones
+			// The service takes ownership of the slice, so hand it a copy.
+			batch := append([]tafloc.ZoneReport(nil), batches[z][i%preparedBatches]...)
+			for svc.Report(ids[z], batch) != nil {
+				time.Sleep(10 * time.Microsecond) // queue full: backpressure
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	var received uint64
+	for _, st := range svc.Stats() {
+		received += st.Received
+	}
+	b.ReportMetric(float64(received)/b.Elapsed().Seconds(), "reports/s")
+	cancel()
+	svc.Wait()
 }

@@ -1,0 +1,3 @@
+module tafloc
+
+go 1.21

@@ -18,6 +18,7 @@ type Collector struct {
 	Store *Store
 
 	log      *slog.Logger
+	sink     func(wire.RSSReport)
 	udpConn  *net.UDPConn
 	tcpLis   net.Listener
 	wg       sync.WaitGroup
@@ -36,6 +37,14 @@ func New(m, window int, log *slog.Logger) (*Collector, error) {
 	}
 	return &Collector{Store: store, log: log}, nil
 }
+
+// SetSink registers fn to receive a copy of every successfully decoded
+// data-plane report, in addition to the store — the hook that forwards
+// measurements into the multi-zone serving layer. It must be called
+// before Start. The callback runs on the UDP read loop, so it must be
+// fast and non-blocking (e.g. enqueue into a bounded queue and shed on
+// overflow).
+func (c *Collector) SetSink(fn func(wire.RSSReport)) { c.sink = fn }
 
 // Start binds the UDP data plane and TCP control plane on the given
 // addresses ("127.0.0.1:0" picks free ports) and launches the serving
@@ -85,7 +94,7 @@ func (c *Collector) Wait() { c.wg.Wait() }
 
 func (c *Collector) serveUDP() {
 	defer c.wg.Done()
-	buf := make([]byte, 2048)
+	buf := make([]byte, 65536)
 	var report wire.RSSReport
 	for {
 		n, _, err := c.udpConn.ReadFromUDP(buf)
@@ -95,11 +104,28 @@ func (c *Collector) serveUDP() {
 			}
 			return
 		}
-		if err := report.DecodeFromBytes(buf[:n]); err != nil {
-			c.Store.MarkDropped()
-			continue
+		// A datagram carries one frame or a whole concatenated batch
+		// (wire.EncodeBatch); legal datagrams are exact multiples of
+		// FrameSize, and a short tail counts as a dropped runt frame.
+		// Frames are fixed-size with per-frame magic and CRC, so a
+		// corrupt frame costs exactly one frame: resync at the next
+		// boundary and salvage the rest of the batch.
+		data := buf[:n]
+		for len(data) > 0 {
+			if len(data) < wire.FrameSize {
+				c.Store.MarkDropped() // runt datagram or trailing partial frame
+				break
+			}
+			if err := report.DecodeFromBytes(data); err != nil {
+				c.Store.MarkDropped()
+			} else {
+				c.Store.AddReport(&report)
+				if c.sink != nil {
+					c.sink(report)
+				}
+			}
+			data = data[wire.FrameSize:]
 		}
-		c.Store.AddReport(&report)
 	}
 }
 

@@ -122,7 +122,7 @@ func (s *Store) AddReport(r *wire.RSSReport) {
 	}
 }
 
-// MarkDropped records an undecodable datagram.
+// MarkDropped records an undecodable frame.
 func (s *Store) MarkDropped() {
 	s.mu.Lock()
 	s.stats.FramesReceived++

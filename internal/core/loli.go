@@ -319,59 +319,68 @@ func (rc *Reconstructor) Reconstruct(in UpdateInput) (*Reconstruction, error) {
 }
 
 // initialize fills unobserved entries by per-column ridge regression onto
-// the reference columns using only that column's observed rows.
+// the reference columns using only that column's observed rows. Columns
+// are independent work items, so the fill fans out across the mat worker
+// pool: each worker owns a disjoint column range of out.
 func (rc *Reconstructor) initialize(obs, xi, xr *mat.Matrix) *mat.Matrix {
 	m, n := xi.Dims()
 	nr := xr.Cols()
 	out := xi.Clone()
-	for j := 0; j < n; j++ {
-		// Gather observed rows of column j.
-		var rows []int
-		for i := 0; i < m; i++ {
-			if obs.At(i, j) == 1 {
-				rows = append(rows, i)
-			}
+	mat.ParallelFor(n, 8, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			rc.initColumn(obs, xi, xr, out, j, m, nr)
 		}
-		if len(rows) == m {
-			continue // fully observed
-		}
-		var zj []float64
-		if len(rows) >= 1 {
-			a := mat.New(len(rows), nr)
-			b := make([]float64, len(rows))
-			for k, i := range rows {
-				for c := 0; c < nr; c++ {
-					a.Set(k, c, xr.At(i, c))
-				}
-				b[k] = xi.At(i, j)
-			}
-			bm := mat.New(len(rows), 1)
-			bm.SetCol(0, b)
-			if sol, err := mat.RidgeSolve(a, bm, 0.5); err == nil {
-				zj = sol.Col(0)
-			}
-		}
-		for i := 0; i < m; i++ {
-			if obs.At(i, j) == 1 {
-				continue
-			}
-			var v float64
-			if zj != nil {
-				for c := 0; c < nr; c++ {
-					v += xr.At(i, c) * zj[c]
-				}
-			} else {
-				// No observations in this column at all: fall back to the
-				// mean of the reference columns for this link.
-				for c := 0; c < nr; c++ {
-					v += xr.At(i, c)
-				}
-				v /= float64(nr)
-			}
-			out.Set(i, j, v)
+	})
+	return out
+}
+
+// initColumn fills the unobserved entries of column j of out.
+func (rc *Reconstructor) initColumn(obs, xi, xr, out *mat.Matrix, j, m, nr int) {
+	// Gather observed rows of column j.
+	var rows []int
+	for i := 0; i < m; i++ {
+		if obs.At(i, j) == 1 {
+			rows = append(rows, i)
 		}
 	}
-	return out
+	if len(rows) == m {
+		return // fully observed
+	}
+	var zj []float64
+	if len(rows) >= 1 {
+		a := mat.New(len(rows), nr)
+		b := make([]float64, len(rows))
+		for k, i := range rows {
+			for c := 0; c < nr; c++ {
+				a.Set(k, c, xr.At(i, c))
+			}
+			b[k] = xi.At(i, j)
+		}
+		bm := mat.New(len(rows), 1)
+		bm.SetCol(0, b)
+		if sol, err := mat.RidgeSolve(a, bm, 0.5); err == nil {
+			zj = sol.Col(0)
+		}
+	}
+	for i := 0; i < m; i++ {
+		if obs.At(i, j) == 1 {
+			continue
+		}
+		var v float64
+		if zj != nil {
+			for c := 0; c < nr; c++ {
+				v += xr.At(i, c) * zj[c]
+			}
+		} else {
+			// No observations in this column at all: fall back to the
+			// mean of the reference columns for this link.
+			for c := 0; c < nr; c++ {
+				v += xr.At(i, c)
+			}
+			v /= float64(nr)
+		}
+		out.Set(i, j, v)
+	}
 }
 
 // objective evaluates the full LoLi-IR objective.

@@ -43,9 +43,9 @@ func (NNMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Location, e
 	if err := checkMatch(x, grid, y); err != nil {
 		return Location{}, err
 	}
+	dists := columnDists(x, y)
 	best, bestD := -1, math.Inf(1)
-	for j := 0; j < x.Cols(); j++ {
-		d := columnDist(x, j, y)
+	for j, d := range dists {
 		if d < bestD {
 			best, bestD = j, d
 		}
@@ -73,13 +73,14 @@ func (m KNNMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Location
 	if k > x.Cols() {
 		k = x.Cols()
 	}
+	dists := columnDists(x, y)
 	type cand struct {
 		j int
 		d float64
 	}
 	cands := make([]cand, x.Cols())
-	for j := 0; j < x.Cols(); j++ {
-		cands[j] = cand{j, columnDist(x, j, y)}
+	for j, d := range dists {
+		cands[j] = cand{j, d}
 	}
 	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
 	var wsum float64
@@ -119,10 +120,11 @@ func (m BayesMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Locati
 		sigma = 2
 	}
 	n := x.Cols()
+	dists := columnDists(x, y)
 	logp := make([]float64, n)
 	maxLog := math.Inf(-1)
 	for j := 0; j < n; j++ {
-		d := columnDist(x, j, y)
+		d := dists[j]
 		logp[j] = -d * d / (2 * sigma * sigma)
 		if logp[j] > maxLog {
 			maxLog = logp[j]
@@ -148,7 +150,7 @@ func (m BayesMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Locati
 	return Location{
 		Cell:       best,
 		Point:      geom.Point{X: px, Y: py},
-		Distance:   columnDist(x, best, y),
+		Distance:   dists[best],
 		Confidence: bestP,
 	}, nil
 }
@@ -234,9 +236,13 @@ func (m WeightedKNNMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (
 		d float64
 	}
 	cands := make([]cand, x.Cols())
-	for j := 0; j < x.Cols(); j++ {
-		cands[j] = cand{j, dist(j)}
-	}
+	// Per-cell fan-out: every candidate cell's weighted distance is an
+	// independent work item.
+	mat.ParallelFor(x.Cols(), matchChunk(x.Rows()), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			cands[j] = cand{j, dist(j)}
+		}
+	})
 	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
 	var wsum, px, py float64
 	const eps = 1e-6
@@ -382,6 +388,28 @@ func columnDist(x *mat.Matrix, j int, y []float64) float64 {
 		s += d * d
 	}
 	return math.Sqrt(s)
+}
+
+// columnDists computes the Euclidean distance from y to every fingerprint
+// column, fanning the per-cell work items out across the mat worker pool
+// when the database is large enough to pay for it.
+func columnDists(x *mat.Matrix, y []float64) []float64 {
+	dists := make([]float64, x.Cols())
+	mat.ParallelFor(x.Cols(), matchChunk(x.Rows()), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dists[j] = columnDist(x, j, y)
+		}
+	})
+	return dists
+}
+
+// matchChunk sizes per-cell matching chunks: ~4 flops per link entry
+// (subtract, square, accumulate, optional weight).
+func matchChunk(links int) int {
+	if links < 1 {
+		links = 1
+	}
+	return mat.ChunkFor(4 * links)
 }
 
 func checkMatch(x *mat.Matrix, grid *geom.Grid, y []float64) error {

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tafloc/internal/geom"
+	"tafloc/internal/mat"
+)
+
+// TestParallelReconstructMatchesSerial requires a full LoLi-IR run to be
+// bitwise identical under parallel fan-out: every kernel partitions by
+// independent output range, so the worker count must not change results.
+func TestParallelReconstructMatchesSerial(t *testing.T) {
+	grid, err := geom.NewGrid(7.2, 4.8, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := NewLayout(geom.CrossedDeployment(7.2, 4.8, 10), grid, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, vac := syntheticTruth(layout, rand.New(rand.NewSource(11)))
+	rc, err := NewReconstructor(layout, DefaultLoLiOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := makeUpdateInput(layout, truth, vac, pickRefs(layout, 10))
+
+	prev := mat.SetWorkers(1)
+	defer mat.SetWorkers(prev)
+	serial, err := rc.Reconstruct(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat.SetWorkers(8)
+	parallel, err := rc.Reconstruct(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parallel.X.Equal(serial.X, 0) {
+		t.Error("parallel reconstruction differs from serial")
+	}
+	if parallel.Iterations != serial.Iterations || parallel.Rank != serial.Rank {
+		t.Errorf("parallel run took rank %d / %d iters, serial rank %d / %d",
+			parallel.Rank, parallel.Iterations, serial.Rank, serial.Iterations)
+	}
+}
+
+// TestParallelMatchMatchesSerial checks the per-cell parallel matchers
+// against their serial execution.
+func TestParallelMatchMatchesSerial(t *testing.T) {
+	grid, err := geom.NewGrid(7.2, 4.8, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := NewLayout(geom.CrossedDeployment(7.2, 4.8, 10), grid, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	truth, _ := syntheticTruth(layout, rng)
+	y := truth.Col(37)
+	for i := range y {
+		y[i] += 0.3 * rng.NormFloat64()
+	}
+	matchers := []Matcher{
+		NNMatcher{},
+		KNNMatcher{K: 4},
+		BayesMatcher{},
+		WeightedKNNMatcher{},
+	}
+	for _, m := range matchers {
+		prev := mat.SetWorkers(1)
+		serial, err1 := m.Match(truth, grid, y)
+		mat.SetWorkers(8)
+		parallel, err2 := m.Match(truth, grid, y)
+		mat.SetWorkers(prev)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%T: %v / %v", m, err1, err2)
+		}
+		if serial != parallel {
+			t.Errorf("%T: parallel %+v differs from serial %+v", m, parallel, serial)
+		}
+	}
+}

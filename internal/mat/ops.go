@@ -5,70 +5,91 @@ import (
 	"math"
 )
 
-// Mul returns the matrix product a*b.
+// Mul returns the matrix product a*b. Large products fan out over the
+// package worker pool, partitioned by output row.
 func Mul(a, b *Matrix) *Matrix {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := New(a.rows, b.cols)
-	// ikj loop order: stream over b's rows for cache locality.
-	for i := 0; i < a.rows; i++ {
-		ai := a.data[i*a.cols:]
-		oi := out.data[i*out.cols : (i+1)*out.cols]
-		for k := 0; k < a.cols; k++ {
-			aik := ai[k]
-			if aik == 0 {
-				continue
-			}
-			bk := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range bk {
-				oi[j] += aik * bv
-			}
-		}
-	}
+	ParallelFor(a.rows, ChunkFor(2*a.cols*b.cols), func(lo, hi int) {
+		mulRange(a, b, out, lo, hi)
+	})
 	return out
 }
 
-// MulT returns a * bᵀ without materializing the transpose.
+// mulRange computes rows [lo, hi) of out = a*b with a cache-blocked ikj
+// kernel: k is tiled so the active band of b stays resident while the
+// row block streams over it.
+func mulRange(a, b, out *Matrix, lo, hi int) {
+	const kTile = 128
+	for k0 := 0; k0 < a.cols; k0 += kTile {
+		k1 := min(k0+kTile, a.cols)
+		for i := lo; i < hi; i++ {
+			ai := a.data[i*a.cols:]
+			oi := out.data[i*out.cols : (i+1)*out.cols]
+			for k := k0; k < k1; k++ {
+				aik := ai[k]
+				if aik == 0 {
+					continue
+				}
+				bk := b.data[k*b.cols : (k+1)*b.cols]
+				for j, bv := range bk {
+					oi[j] += aik * bv
+				}
+			}
+		}
+	}
+}
+
+// MulT returns a * bᵀ without materializing the transpose, partitioned by
+// output row across the worker pool.
 func MulT(a, b *Matrix) *Matrix {
 	if a.cols != b.cols {
 		panic(fmt.Sprintf("mat: MulT dimension mismatch %dx%d * (%dx%d)T", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := New(a.rows, b.rows)
-	for i := 0; i < a.rows; i++ {
-		ai := a.data[i*a.cols : (i+1)*a.cols]
-		oi := out.data[i*out.cols:]
-		for j := 0; j < b.rows; j++ {
-			bj := b.data[j*b.cols : (j+1)*b.cols]
-			var s float64
-			for k, av := range ai {
-				s += av * bj[k]
+	ParallelFor(a.rows, ChunkFor(2*a.cols*b.rows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.data[i*a.cols : (i+1)*a.cols]
+			oi := out.data[i*out.cols:]
+			for j := 0; j < b.rows; j++ {
+				bj := b.data[j*b.cols : (j+1)*b.cols]
+				var s float64
+				for k, av := range ai {
+					s += av * bj[k]
+				}
+				oi[j] = s
 			}
-			oi[j] = s
 		}
-	}
+	})
 	return out
 }
 
-// TMul returns aᵀ * b without materializing the transpose.
+// TMul returns aᵀ * b without materializing the transpose, partitioned by
+// output row (a column) across the worker pool; every worker streams the
+// shared rows of a and b in the same k order as the serial kernel.
 func TMul(a, b *Matrix) *Matrix {
 	if a.rows != b.rows {
 		panic(fmt.Sprintf("mat: TMul dimension mismatch (%dx%d)T * %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := New(a.cols, b.cols)
-	for k := 0; k < a.rows; k++ {
-		ak := a.data[k*a.cols : (k+1)*a.cols]
-		bk := b.data[k*b.cols : (k+1)*b.cols]
-		for i, av := range ak {
-			if av == 0 {
-				continue
-			}
-			oi := out.data[i*out.cols : (i+1)*out.cols]
-			for j, bv := range bk {
-				oi[j] += av * bv
+	ParallelFor(a.cols, ChunkFor(2*a.rows*b.cols), func(lo, hi int) {
+		for k := 0; k < a.rows; k++ {
+			ak := a.data[k*a.cols : (k+1)*a.cols]
+			bk := b.data[k*b.cols : (k+1)*b.cols]
+			for i := lo; i < hi; i++ {
+				av := ak[i]
+				if av == 0 {
+					continue
+				}
+				oi := out.data[i*out.cols : (i+1)*out.cols]
+				for j, bv := range bk {
+					oi[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 

@@ -1,0 +1,32 @@
+// Package serve implements the concurrent multi-zone localization
+// service: the layer that turns the single-deployment TafLoc pipeline
+// into a serving system for many monitored areas at once.
+//
+// A Service owns one independent core.System per monitored zone (a room,
+// a corridor, a floor section — each with its own link deployment and
+// fingerprint database). RSS reports enter through a bounded per-zone
+// work queue; a dedicated worker goroutine per zone drains its queue in
+// batches, folds the samples into per-link live windows, and answers the
+// zone's match query once per batch rather than once per report, so a
+// burst of traffic costs one localization instead of dozens.
+//
+// Position queries never touch the ingest path: the most recent estimate
+// of every zone lives in a read-mostly snapshot behind an atomic pointer.
+// Publishing an estimate copies the snapshot (copy-on-write, serialized
+// among the zone workers); reading it is a single atomic load with no
+// lock, so the query path scales with reader count and is never blocked
+// by ingestion, reconstruction, or other zones.
+//
+// The matching and reconstruction work underneath is parallelized in
+// internal/mat and internal/core with GOMAXPROCS-aware worker pools, so
+// one heavy zone update uses the whole machine while the other zone
+// workers keep serving.
+//
+// The HTTP surface (Handler) exposes three endpoints:
+//
+//	POST /v1/report              ingest a batch of reports for one zone
+//	GET  /v1/zones/{id}/position the zone's latest estimate
+//	GET  /v1/healthz             service liveness and per-zone counters
+//
+// cmd/tafloc-serve wires the service to simulated deployments end to end.
+package serve

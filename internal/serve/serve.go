@@ -1,0 +1,477 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tafloc/internal/core"
+	"tafloc/internal/geom"
+	"tafloc/internal/wire"
+)
+
+// Service errors.
+var (
+	ErrZoneExists  = errors.New("serve: zone already registered")
+	ErrUnknownZone = errors.New("serve: unknown zone")
+	ErrQueueFull   = errors.New("serve: zone queue full")
+	ErrStarted     = errors.New("serve: service already started")
+	ErrBadReport   = errors.New("serve: report link out of range")
+)
+
+// Config tunes the service. The zero value selects the defaults noted on
+// each field.
+type Config struct {
+	// QueueDepth is the number of pending report batches each zone's
+	// bounded queue holds before Report sheds load (default 256).
+	QueueDepth int
+	// BatchSize is the maximum number of reports a zone worker folds
+	// before answering one batched match query (default 64).
+	BatchSize int
+	// Window is the per-link live-window length the worker averages over
+	// (default 8, matching the collector's default).
+	Window int
+	// DetectThresholdDB gates localization on target presence: batches
+	// whose live vector deviates less than this from the zone's vacant
+	// baseline publish an absent estimate without paying for matching
+	// (default 1 dB).
+	DetectThresholdDB float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.DetectThresholdDB <= 0 {
+		c.DetectThresholdDB = 1
+	}
+	return c
+}
+
+// Report is one RSS sample addressed to one link of a zone.
+type Report struct {
+	// Link is the link index within the zone's deployment.
+	Link int `json:"link"`
+	// RSS is the sample in dBm.
+	RSS float64 `json:"rss"`
+	// Vacant marks a sample known to be taken with no target present.
+	// Vacant samples additionally refresh the zone's vacant baseline, so
+	// presence detection tracks environmental drift between fingerprint
+	// updates.
+	Vacant bool `json:"vacant,omitempty"`
+}
+
+// FromWire converts a decoded data-plane frame into a service report.
+func FromWire(r *wire.RSSReport) Report {
+	return Report{Link: int(r.LinkID), RSS: r.RSS(), Vacant: r.Vacant()}
+}
+
+// Estimate is a zone's most recent position estimate, as published to the
+// read-mostly snapshot.
+type Estimate struct {
+	// Zone is the zone ID the estimate belongs to.
+	Zone string `json:"zone"`
+	// Seq increases by one per published estimate across the service, so
+	// readers can order estimates and detect staleness.
+	Seq uint64 `json:"seq"`
+	// Present reports whether the detection gate saw a target; when it is
+	// false the location fields are zero and Cell is -1.
+	Present bool `json:"present"`
+	// DeviationDB is the live vector's mean absolute deviation from the
+	// zone's vacant baseline (the detection signal).
+	DeviationDB float64 `json:"deviation_db"`
+	// Cell is the best-matching grid cell (-1 when absent).
+	Cell int `json:"cell"`
+	// Point is the fine-grained position estimate in metres.
+	Point geom.Point `json:"point"`
+	// Distance is the fingerprint-space distance of the winning match.
+	Distance float64 `json:"distance"`
+	// Confidence is the matcher's posterior mass when it computes one.
+	Confidence float64 `json:"confidence,omitempty"`
+	// Reports is the total number of reports the zone had consumed when
+	// the estimate was computed.
+	Reports uint64 `json:"reports"`
+	// Time is when the estimate was published.
+	Time time.Time `json:"time"`
+}
+
+// ZoneStats snapshots one zone's counters.
+type ZoneStats struct {
+	// Received counts reports accepted into the queue.
+	Received uint64 `json:"received"`
+	// Dropped counts reports shed because the queue was full or the link
+	// index was out of range.
+	Dropped uint64 `json:"dropped"`
+	// Batches counts processing rounds (batched match queries answered).
+	Batches uint64 `json:"batches"`
+	// Estimates counts published estimates.
+	Estimates uint64 `json:"estimates"`
+	// MatchErrors counts batches whose match query failed; a zone whose
+	// MatchErrors advances while Estimates stalls is misconfigured, not
+	// warming up.
+	MatchErrors uint64 `json:"match_errors,omitempty"`
+	// QueueLen is the instantaneous number of pending batches.
+	QueueLen int `json:"queue_len"`
+}
+
+// zone is one shard: a core.System plus the worker-owned ingest state.
+// Everything below queue is touched only by the zone's worker goroutine,
+// so it needs no locking.
+type zone struct {
+	id    string
+	sys   *core.System
+	queue chan []Report
+
+	// per-link ring windows: win holds every sample (a vacant room is a
+	// valid live measurement); vwin holds only vacant-flagged samples and
+	// feeds the refreshed detection baseline.
+	win    [][]float64
+	widx   []int
+	wfill  []int
+	vwin   [][]float64
+	vidx   []int
+	vfill  []int
+	folded uint64 // reports folded so far (worker-owned)
+
+	received    atomic.Uint64
+	dropped     atomic.Uint64
+	batches     atomic.Uint64
+	estimates   atomic.Uint64
+	matchErrors atomic.Uint64
+}
+
+// Service is the sharded multi-zone localization frontend. Register zones
+// with AddZone, launch the workers with Start, ingest with Report, and
+// read positions lock-free with Position.
+type Service struct {
+	cfg Config
+
+	mu    sync.RWMutex // guards zones/order mutation and snapshot publication
+	zones map[string]*zone
+	order []string
+
+	snap    atomic.Pointer[map[string]Estimate]
+	seq     atomic.Uint64
+	started atomic.Bool
+	start   time.Time
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New builds an empty service with the given configuration.
+func New(cfg Config) *Service {
+	s := &Service{cfg: cfg.withDefaults(), zones: make(map[string]*zone)}
+	empty := make(map[string]Estimate)
+	s.snap.Store(&empty)
+	return s
+}
+
+// AddZone registers a monitored zone backed by sys. All zones must be
+// registered before Start.
+func (s *Service) AddZone(id string, sys *core.System) error {
+	if id == "" {
+		return fmt.Errorf("serve: empty zone id")
+	}
+	if sys == nil {
+		return fmt.Errorf("serve: nil system for zone %q", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started.Load() {
+		return ErrStarted
+	}
+	if _, ok := s.zones[id]; ok {
+		return ErrZoneExists
+	}
+	m := sys.Layout().M()
+	z := &zone{
+		id:    id,
+		sys:   sys,
+		queue: make(chan []Report, s.cfg.QueueDepth),
+		win:   make([][]float64, m),
+		widx:  make([]int, m),
+		wfill: make([]int, m),
+		vwin:  make([][]float64, m),
+		vidx:  make([]int, m),
+		vfill: make([]int, m),
+	}
+	for i := range z.win {
+		z.win[i] = make([]float64, s.cfg.Window)
+		z.vwin[i] = make([]float64, s.cfg.Window)
+	}
+	s.zones[id] = z
+	s.order = append(s.order, id)
+	sort.Strings(s.order)
+	return nil
+}
+
+// Zones returns the registered zone IDs in sorted order.
+func (s *Service) Zones() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...)
+}
+
+// System returns the core.System behind a zone, for fingerprint updates
+// (System.Update is safe to run while the zone keeps serving).
+func (s *Service) System(id string) (*core.System, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	z, ok := s.zones[id]
+	if !ok {
+		return nil, false
+	}
+	return z.sys, true
+}
+
+// Start launches one worker goroutine per registered zone. The workers
+// stop when ctx is cancelled or Stop is called.
+func (s *Service) Start(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started.Swap(true) {
+		cancel()
+		return ErrStarted
+	}
+	s.cancel = cancel
+	s.start = time.Now()
+	for _, id := range s.order {
+		z := s.zones[id]
+		s.wg.Add(1)
+		go s.runZone(ctx, z)
+	}
+	return nil
+}
+
+// Stop cancels the zone workers. It does not wait; see Wait.
+func (s *Service) Stop() {
+	s.mu.RLock()
+	cancel := s.cancel
+	s.mu.RUnlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Wait blocks until all zone workers have exited.
+func (s *Service) Wait() { s.wg.Wait() }
+
+// Uptime reports how long the service has been running.
+func (s *Service) Uptime() time.Duration {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.started.Load() {
+		return 0
+	}
+	return time.Since(s.start)
+}
+
+// Report enqueues a batch of reports for a zone. On a nil return the
+// service has taken ownership of the slice and the caller must not reuse
+// it; on any error (including ErrQueueFull) the service retains nothing
+// and the caller may retry with the same slice. When the zone's queue is
+// full the batch is shed and ErrQueueFull returned — ingestion never
+// blocks the caller.
+func (s *Service) Report(id string, reports []Report) error {
+	s.mu.RLock()
+	z, ok := s.zones[id]
+	s.mu.RUnlock()
+	if !ok {
+		return ErrUnknownZone
+	}
+	if len(reports) == 0 {
+		return nil
+	}
+	m := len(z.win)
+	for _, r := range reports {
+		if r.Link < 0 || r.Link >= m {
+			z.dropped.Add(uint64(len(reports)))
+			return fmt.Errorf("%w: link %d of %d in zone %q", ErrBadReport, r.Link, m, id)
+		}
+	}
+	select {
+	case z.queue <- reports:
+		z.received.Add(uint64(len(reports)))
+		return nil
+	default:
+		z.dropped.Add(uint64(len(reports)))
+		return ErrQueueFull
+	}
+}
+
+// Position returns the most recent estimate for a zone. The read is one
+// atomic snapshot load — no lock, never blocked by ingestion or updates.
+// ok is false when the zone is unknown or has not published yet.
+func (s *Service) Position(id string) (Estimate, bool) {
+	snap := *s.snap.Load()
+	e, ok := snap[id]
+	return e, ok
+}
+
+// Positions returns the current snapshot of all published estimates. The
+// returned map is the reader's own copy.
+func (s *Service) Positions() map[string]Estimate {
+	snap := *s.snap.Load()
+	out := make(map[string]Estimate, len(snap))
+	for k, v := range snap {
+		out[k] = v
+	}
+	return out
+}
+
+// Stats returns per-zone counters.
+func (s *Service) Stats() map[string]ZoneStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]ZoneStats, len(s.zones))
+	for id, z := range s.zones {
+		out[id] = ZoneStats{
+			Received:    z.received.Load(),
+			Dropped:     z.dropped.Load(),
+			Batches:     z.batches.Load(),
+			Estimates:   z.estimates.Load(),
+			MatchErrors: z.matchErrors.Load(),
+			QueueLen:    len(z.queue),
+		}
+	}
+	return out
+}
+
+// runZone is the per-zone worker loop: block for a batch, drain more
+// opportunistically up to BatchSize reports, fold them into the live
+// windows, then answer one batched match query.
+func (s *Service) runZone(ctx context.Context, z *zone) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case batch := <-z.queue:
+			n := s.fold(z, batch)
+			for n < s.cfg.BatchSize {
+				select {
+				case more := <-z.queue:
+					n += s.fold(z, more)
+					continue
+				default:
+				}
+				break
+			}
+			z.batches.Add(1)
+			s.localize(z)
+		}
+	}
+}
+
+// fold applies a batch to the zone's per-link ring windows and returns
+// the number of reports consumed. Every sample feeds the live window (a
+// vacant room is a valid live measurement, so detection sees the target
+// leave); vacant-flagged samples additionally refresh the detection
+// baseline.
+func (s *Service) fold(z *zone, batch []Report) int {
+	for _, r := range batch {
+		w := z.win[r.Link]
+		w[z.widx[r.Link]] = r.RSS
+		z.widx[r.Link] = (z.widx[r.Link] + 1) % len(w)
+		if z.wfill[r.Link] < len(w) {
+			z.wfill[r.Link]++
+		}
+		if r.Vacant {
+			v := z.vwin[r.Link]
+			v[z.vidx[r.Link]] = r.RSS
+			z.vidx[r.Link] = (z.vidx[r.Link] + 1) % len(v)
+			if z.vfill[r.Link] < len(v) {
+				z.vfill[r.Link]++
+			}
+		}
+	}
+	z.folded += uint64(len(batch))
+	return len(batch)
+}
+
+// localize answers the zone's batched match query: average the live
+// windows, gate on presence, match, and publish via copy-on-write.
+func (s *Service) localize(z *zone) {
+	m := len(z.win)
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		if z.wfill[i] == 0 {
+			return // not every link has reported yet
+		}
+		var sum float64
+		for k := 0; k < z.wfill[i]; k++ {
+			sum += z.win[i][k]
+		}
+		y[i] = sum / float64(z.wfill[i])
+	}
+	present, dev := s.detect(z, y)
+	e := Estimate{
+		Zone:        z.id,
+		Present:     present,
+		DeviationDB: dev,
+		Cell:        -1,
+		Reports:     z.folded,
+	}
+	if present {
+		loc, err := z.sys.Locate(y)
+		if err != nil {
+			z.matchErrors.Add(1)
+			return
+		}
+		e.Cell = loc.Cell
+		e.Point = loc.Point
+		e.Distance = loc.Distance
+		e.Confidence = loc.Confidence
+	}
+	s.publish(e)
+	z.estimates.Add(1)
+}
+
+// detect gates localization on target presence. When every link has
+// received vacant-flagged samples, the mean of those windows is a
+// fresher baseline than the system's last vacant capture and is used
+// instead, so detection tracks drift between fingerprint updates.
+func (s *Service) detect(z *zone, y []float64) (bool, float64) {
+	for i := range z.vfill {
+		if z.vfill[i] == 0 {
+			return z.sys.Detect(y, s.cfg.DetectThresholdDB)
+		}
+	}
+	vac := make([]float64, len(z.vwin))
+	for i, v := range z.vwin {
+		var sum float64
+		for k := 0; k < z.vfill[i]; k++ {
+			sum += v[k]
+		}
+		vac[i] = sum / float64(z.vfill[i])
+	}
+	return core.Detector{Vacant: vac, ThresholdDB: s.cfg.DetectThresholdDB}.Present(y)
+}
+
+// publish installs an estimate into the read-mostly snapshot. Writers
+// (the zone workers) serialize on the service mutex and swap in a fresh
+// copy; readers keep loading the old snapshot untouched.
+func (s *Service) publish(e Estimate) {
+	e.Time = time.Now()
+	s.mu.Lock()
+	e.Seq = s.seq.Add(1)
+	old := *s.snap.Load()
+	next := make(map[string]Estimate, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[e.Zone] = e
+	s.snap.Store(&next)
+	s.mu.Unlock()
+}

@@ -1,0 +1,40 @@
+package wire
+
+import "fmt"
+
+// Frames are fixed-size, so a batch datagram is simply concatenated
+// frames: the serving layer's ingest batching applied at the protocol
+// layer. One UDP datagram can carry a whole deployment's sampling round
+// (e.g. all links of a zone at one tick) and be validated frame by frame
+// on receipt.
+
+// AppendBatchTo appends the encoded frames of reports to buf and returns
+// the extended slice.
+func AppendBatchTo(buf []byte, reports []RSSReport) []byte {
+	for i := range reports {
+		buf = reports[i].AppendTo(buf)
+	}
+	return buf
+}
+
+// EncodeBatch returns the reports as one concatenated-frame datagram.
+func EncodeBatch(reports []RSSReport) []byte {
+	return AppendBatchTo(make([]byte, 0, len(reports)*FrameSize), reports)
+}
+
+// DecodeBatch parses a datagram of concatenated frames, validating each.
+// It fails on a trailing partial frame or any invalid frame, identifying
+// the offending index.
+func DecodeBatch(data []byte) ([]RSSReport, error) {
+	if len(data)%FrameSize != 0 {
+		return nil, fmt.Errorf("%w: %d bytes is not a whole number of %d-byte frames",
+			ErrShortFrame, len(data), FrameSize)
+	}
+	reports := make([]RSSReport, len(data)/FrameSize)
+	for i := range reports {
+		if err := reports[i].DecodeFromBytes(data[i*FrameSize:]); err != nil {
+			return nil, fmt.Errorf("frame %d: %w", i, err)
+		}
+	}
+	return reports, nil
+}

@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	reports := make([]RSSReport, 5)
+	for i := range reports {
+		reports[i] = RSSReport{
+			LinkID: uint16(i),
+			Seq:    uint32(100 + i),
+			Time:   time.Unix(0, int64(1e9*(i+1))),
+		}
+		reports[i].SetRSS(-40.5 - float64(i))
+		if i%2 == 0 {
+			reports[i].Flags |= FlagVacant
+		}
+	}
+	data := EncodeBatch(reports)
+	if len(data) != len(reports)*FrameSize {
+		t.Fatalf("batch size %d, want %d", len(data), len(reports)*FrameSize)
+	}
+	got, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reports) {
+		t.Fatalf("decoded %d reports, want %d", len(got), len(reports))
+	}
+	for i := range got {
+		if got[i] != reports[i] {
+			t.Errorf("report %d: %+v != %+v", i, got[i], reports[i])
+		}
+	}
+}
+
+func TestDecodeBatchErrors(t *testing.T) {
+	var r RSSReport
+	r.SetRSS(-40)
+	data := EncodeBatch([]RSSReport{r, r})
+
+	if _, err := DecodeBatch(data[:len(data)-3]); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("partial trailing frame: got %v", err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[FrameSize+4] ^= 0xFF // corrupt second frame's payload
+	if _, err := DecodeBatch(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupt frame: got %v", err)
+	}
+	if got, err := DecodeBatch(nil); err != nil || len(got) != 0 {
+		t.Errorf("empty batch: %v, %d reports", err, len(got))
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"tafloc/internal/rass"
 	"tafloc/internal/rf"
 	"tafloc/internal/rti"
+	"tafloc/internal/serve"
 	"tafloc/internal/testbed"
 	"tafloc/internal/track"
 	"tafloc/internal/wire"
@@ -320,6 +321,38 @@ type (
 func NewCollector(m, window int) (*Collector, error) {
 	return collector.New(m, window, nil)
 }
+
+// Multi-zone serving layer.
+type (
+	// Service is the sharded, concurrent multi-zone localization service:
+	// one core System per zone, bounded ingest queues, batched match
+	// queries, and a lock-free read-mostly position snapshot.
+	Service = serve.Service
+	// ServiceConfig tunes the service's queues, batching, and detection.
+	ServiceConfig = serve.Config
+	// ZoneReport is one RSS sample addressed to one link of a zone.
+	ZoneReport = serve.Report
+	// ZoneEstimate is a zone's most recent published position estimate.
+	ZoneEstimate = serve.Estimate
+	// ZoneStats snapshots one zone's ingest and serving counters.
+	ZoneStats = serve.ZoneStats
+)
+
+// NewService builds an empty multi-zone service; register zones with
+// AddZone and launch with Start.
+func NewService(cfg ServiceConfig) *Service { return serve.New(cfg) }
+
+// ReportFromWire converts a decoded data-plane frame into a service
+// report.
+func ReportFromWire(r *RSSReport) ZoneReport { return serve.FromWire(r) }
+
+// SetWorkers sets the worker count used by the parallel reconstruction
+// and matching kernels and returns the previous setting; n <= 0 restores
+// the GOMAXPROCS-aware default.
+func SetWorkers(n int) int { return mat.SetWorkers(n) }
+
+// Workers returns the effective parallel worker count.
+func Workers() int { return mat.Workers() }
 
 // NewFleet dials a collector and prepares one agent per link.
 func NewFleet(ch *Channel, dataAddr string, cfg AgentConfig) (*Fleet, error) {
