@@ -112,7 +112,7 @@ func BenchmarkLoLiIRReconstruction(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sys, err := tafloc.BuildSystem(dep)
+	sys, err := tafloc.OpenDeployment(dep)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func BenchmarkLocate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sys, err := tafloc.BuildSystem(dep)
+	sys, err := tafloc.OpenDeployment(dep)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func BenchmarkParallelReconstruct(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sys, err := tafloc.BuildSystem(dep)
+	sys, err := tafloc.OpenDeployment(dep)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -261,11 +261,11 @@ func BenchmarkServeThroughput(b *testing.B) {
 	cfg.RoomW, cfg.RoomH = 3.6, 2.4
 	cfg.Links = 6
 	cfg.SamplesPerCell = 5
-	svc := tafloc.NewService(tafloc.ServiceConfig{
-		Window:            4,
-		DetectThresholdDB: 0.25,
-		QueueDepth:        4096,
-	})
+	svc := tafloc.NewService(
+		tafloc.WithWindow(4),
+		tafloc.WithDetectThreshold(0.25),
+		tafloc.WithZoneQueue(4096),
+	)
 	ids := make([]string, zones)
 	batches := make([][][]tafloc.ZoneReport, zones)
 	for z := 0; z < zones; z++ {
@@ -273,7 +273,7 @@ func BenchmarkServeThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		sys, err := tafloc.BuildSystem(dep)
+		sys, err := tafloc.OpenDeployment(dep)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,261 @@
+// Package client is the typed SDK for the TafLoc localization service's
+// /v2 HTTP surface. It converses in the shared wire types of
+// internal/api and translates error responses back into the taflocerr
+// taxonomy, so a caller branches on errors.Is exactly as it would
+// against an in-process serve.Service:
+//
+//	cli, err := client.Dial(ctx, "http://localhost:8750")
+//	...
+//	est, err := cli.Position(ctx, "lobby")
+//	if errors.Is(err, taflocerr.ErrUnknownZone) { ... }
+//
+// Watch streams a zone's estimates over server-sent events:
+//
+//	ch, err := cli.Watch(ctx, "lobby")
+//	for est := range ch { ... }
+//
+// The channel closes when ctx is cancelled, the connection drops, or the
+// zone is removed server-side (the last event then has Final set).
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"tafloc/internal/api"
+	"tafloc/taflocerr"
+)
+
+// Wire types, shared with the server so the two cannot drift.
+type (
+	// Estimate is one position estimate of a zone.
+	Estimate = api.Estimate
+	// Report is one RSS sample addressed to one link of a zone.
+	Report = api.Report
+	// ZoneSpec parameterizes server-side zone creation.
+	ZoneSpec = api.ZoneSpec
+	// ZoneInfo describes a created or removed zone.
+	ZoneInfo = api.ZoneInfo
+	// Health is the service health summary.
+	Health = api.Health
+)
+
+// Client is a typed handle on one TafLoc service. It is safe for
+// concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// transports, proxies, instrumentation). The default is
+// http.DefaultClient. Note that http.Client.Timeout bounds the entire
+// response body read, so a client with a Timeout silently ends Watch
+// streams when it elapses — bound individual calls with request
+// contexts instead and leave Timeout zero if you use Watch.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// New builds a client for the service at baseURL without touching the
+// network. Prefer Dial, which also verifies the service is reachable.
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, taflocerr.Errorf(taflocerr.CodeBadRequest, "client: invalid base URL %q", baseURL)
+	}
+	c := &Client{base: strings.TrimSuffix(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Dial builds a client and verifies the service responds on
+// /v2/healthz.
+func Dial(ctx context.Context, baseURL string, opts ...Option) (*Client, error) {
+	c, err := New(baseURL, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Health(ctx); err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", baseURL, err)
+	}
+	return c, nil
+}
+
+// Health fetches the service health summary.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/v2/healthz", nil, &h)
+	return h, err
+}
+
+// Zones lists the registered zone IDs in sorted order.
+func (c *Client) Zones(ctx context.Context) ([]string, error) {
+	var zl api.ZoneList
+	if err := c.do(ctx, http.MethodGet, "/v2/zones", nil, &zl); err != nil {
+		return nil, err
+	}
+	return zl.Zones, nil
+}
+
+// Position fetches a zone's most recent estimate. A zone that exists
+// but has not published yet fails with taflocerr.ErrNotReady.
+func (c *Client) Position(ctx context.Context, zone string) (Estimate, error) {
+	var e Estimate
+	err := c.do(ctx, http.MethodGet, "/v2/zones/"+url.PathEscape(zone)+"/position", nil, &e)
+	return e, err
+}
+
+// Report ingests a batch of RSS reports for a zone and returns the
+// accepted count. A report addressing an out-of-range link fails the
+// whole batch with taflocerr.ErrBadLink; an overloaded zone sheds with
+// taflocerr.ErrQueueFull (retry later — ingestion never queues
+// unboundedly).
+func (c *Client) Report(ctx context.Context, zone string, reports []Report) (int, error) {
+	var resp api.ReportResponse
+	err := c.do(ctx, http.MethodPost, "/v2/report",
+		api.ReportRequest{Zone: zone, Reports: reports}, &resp)
+	return resp.Accepted, err
+}
+
+// AddZone creates a zone server-side through the service's zone
+// factory. Servers without a factory fail with
+// taflocerr.ErrUnsupported; an existing id with taflocerr.ErrZoneExists.
+func (c *Client) AddZone(ctx context.Context, zone string, spec ZoneSpec) (ZoneInfo, error) {
+	var zi ZoneInfo
+	err := c.do(ctx, http.MethodPost, "/v2/zones/"+url.PathEscape(zone), spec, &zi)
+	return zi, err
+}
+
+// RemoveZone removes a zone at runtime. Watchers of the zone receive a
+// terminal estimate and their streams end.
+func (c *Client) RemoveZone(ctx context.Context, zone string) error {
+	return c.do(ctx, http.MethodDelete, "/v2/zones/"+url.PathEscape(zone), nil, nil)
+}
+
+// Watch subscribes to a zone's estimate stream over server-sent events.
+// The returned channel yields every estimate the server publishes
+// (starting with the current one, if any) until ctx is cancelled, the
+// connection drops, or the zone is removed — in the removal case the
+// last estimate received has Final set. The channel is always closed
+// when the stream ends; cancelling ctx is the caller's way to
+// unsubscribe.
+func (c *Client) Watch(ctx context.Context, zone string) (<-chan Estimate, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v2/zones/"+url.PathEscape(zone)+"/watch", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: watch %s: %w", zone, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	ch := make(chan Estimate, 16)
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 4096), 1<<20)
+		var data string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "" && data != "":
+				var e Estimate
+				if json.Unmarshal([]byte(data), &e) == nil {
+					select {
+					case ch <- e:
+					case <-ctx.Done():
+						return
+					}
+					if e.Final {
+						return
+					}
+				}
+				data = ""
+			}
+		}
+		// Scanner stops on EOF, connection error, or ctx cancellation
+		// (the transport closes the body); the closed channel is the
+		// termination signal either way.
+	}()
+	return ch, nil
+}
+
+// do performs one JSON request/response round trip. A non-2xx response
+// is decoded into the taxonomy: the returned error matches the
+// taflocerr sentinel for the code the server sent.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError turns an error response into a typed taxonomy error that
+// preserves the server's message.
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var eb api.ErrorBody
+	if json.Unmarshal(data, &eb) == nil && eb.Code != "" {
+		// FromCode collapses codes this client build does not know about
+		// onto ErrInternal, so errors.Is against the sentinels stays
+		// exhaustive even against a newer server.
+		return &taflocerr.Error{
+			Code:    taflocerr.FromCode(eb.Code).Code,
+			Message: fmt.Sprintf("client: %s (HTTP %d)", eb.Error, resp.StatusCode),
+		}
+	}
+	msg := strings.TrimSpace(string(data))
+	if len(msg) > 200 {
+		msg = msg[:200]
+	}
+	return taflocerr.Errorf(taflocerr.CodeInternal, "client: HTTP %d: %s", resp.StatusCode, msg)
+}

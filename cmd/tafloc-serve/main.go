@@ -2,19 +2,25 @@
 // service over HTTP: it builds one independent TafLoc system per
 // monitored zone, starts the sharded serving layer, and (by default)
 // drives simulated targets walking through every zone so the endpoints
-// return live estimates out of the box.
+// return live estimates out of the box. The simulator talks to the
+// service the same way any consumer would — through the typed client
+// SDK over HTTP — so the served surface is exercised end to end.
 //
-// Endpoints:
+// Endpoints (see docs/API.md for the full protocol):
 //
-//	POST /v1/report              ingest a batch of RSS reports for a zone
-//	GET  /v1/zones               list zone IDs
-//	GET  /v1/zones/{id}/position latest estimate for a zone
-//	GET  /v1/healthz             liveness and per-zone counters
+//	POST   /v1/report, /v2/report       ingest a batch of RSS reports
+//	GET    /v1/zones, /v2/zones         list zone IDs
+//	GET    /v{1,2}/zones/{id}/position  latest estimate for a zone
+//	POST   /v2/zones/{id}               create a zone at runtime (ZoneSpec body)
+//	DELETE /v2/zones/{id}               remove a zone at runtime
+//	GET    /v2/zones/{id}/watch         stream estimates over SSE
+//	GET    /v1/healthz, /v2/healthz     liveness and per-zone counters
 //
 // Usage:
 //
 //	tafloc-serve                          # 4 zones on :8750, simulated traffic
 //	tafloc-serve -zones 8 -addr :9000     # 8 zones on :9000
+//	tafloc-serve -matcher bayes           # probabilistic matcher for new zones
 //	tafloc-serve -sim=false               # serve only; feed reports yourself
 //	tafloc-serve -interval 20ms           # faster simulated reporting
 package main
@@ -25,13 +31,87 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"time"
 
 	"tafloc"
+	"tafloc/client"
+	"tafloc/taflocerr"
 )
+
+// zoneFactory builds simulated deployments for zones created at startup
+// or over POST /v2/zones/{id}, remembering each zone's deployment so the
+// simulator can sample its channel.
+type zoneFactory struct {
+	matcher string
+	days    float64
+	svc     *tafloc.Service // set after NewService; nil only during startup wiring
+
+	mu   sync.Mutex
+	deps map[string]*tafloc.Deployment
+}
+
+func (f *zoneFactory) build(_ context.Context, id string, spec tafloc.ZoneSpec) (*tafloc.System, error) {
+	// Refuse ids that are already registered before building anything:
+	// AddZone would reject the duplicate anyway, but by then this factory
+	// would have overwritten the existing zone's deployment in f.deps and
+	// desynchronized the simulator from the served database.
+	if f.svc != nil {
+		for _, z := range f.svc.Zones() {
+			if z == id {
+				return nil, taflocerr.Errorf(taflocerr.CodeZoneExists,
+					"tafloc-serve: zone %q already exists", id)
+			}
+		}
+	}
+	cfg := tafloc.PaperConfig()
+	if spec.Width > 0 && spec.Height > 0 {
+		cfg.RoomW, cfg.RoomH = spec.Width, spec.Height
+	}
+	if spec.Links > 0 {
+		cfg.Links = spec.Links
+	}
+	if spec.CellSize > 0 {
+		cfg.CellSize = spec.CellSize
+	}
+	dep, err := tafloc.NewDeployment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The zone's day-0 survey happens at the requested environment age
+	// (spec.Days, defaulting to the -days flag), so a zone created late
+	// in a drifted environment starts from a matching database.
+	days := f.days
+	if spec.Days > 0 {
+		days = spec.Days
+	}
+	layout, err := tafloc.NewLayout(dep.Channel.Links(), dep.Grid, cfg.RF.MaskExcessM())
+	if err != nil {
+		return nil, err
+	}
+	survey, _ := dep.Survey(days)
+	sys, err := tafloc.Open(layout, survey, dep.VacantCapture(days, 100),
+		tafloc.WithMatcher(f.matcher))
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.deps[id] = dep
+	f.mu.Unlock()
+	return sys, nil
+}
+
+func (f *zoneFactory) deployment(id string) (*tafloc.Deployment, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dep, ok := f.deps[id]
+	return dep, ok
+}
 
 func main() {
 	log.SetFlags(0)
@@ -41,70 +121,123 @@ func main() {
 	interval := flag.Duration("interval", 100*time.Millisecond, "simulated report interval per zone")
 	window := flag.Int("window", 8, "per-link live window length")
 	threshold := flag.Float64("threshold", 0.25, "detection threshold in dB")
-	sim := flag.Bool("sim", true, "drive simulated targets through every zone")
+	matcher := flag.String("matcher", "wknn",
+		fmt.Sprintf("localization matcher %v", tafloc.MatcherNames()))
+	detector := flag.String("detector", "mad",
+		fmt.Sprintf("presence detector %v", tafloc.DetectorNames()))
+	sim := flag.Bool("sim", true, "drive simulated targets through every zone via the client SDK")
 	flag.Parse()
 	if *zones < 1 {
 		log.Fatalf("need at least one zone, got %d", *zones)
 	}
+	// Validate the strategy flags up front: NewService treats an unknown
+	// detector as a programming error (panic), but a CLI typo deserves a
+	// clean usage failure.
+	if !contains(tafloc.DetectorNames(), *detector) {
+		log.Fatalf("unknown detector %q; registered: %v", *detector, tafloc.DetectorNames())
+	}
+	if !contains(tafloc.MatcherNames(), *matcher) {
+		log.Fatalf("unknown matcher %q; registered: %v", *matcher, tafloc.MatcherNames())
+	}
 
-	svc := tafloc.NewService(tafloc.ServiceConfig{
-		Window:            *window,
-		DetectThresholdDB: *threshold,
-	})
+	factory := &zoneFactory{matcher: *matcher, days: *days, deps: make(map[string]*tafloc.Deployment)}
+	svc := tafloc.NewService(
+		tafloc.WithWindow(*window),
+		tafloc.WithDetectThreshold(*threshold),
+		tafloc.WithDetector(*detector),
+		tafloc.WithZoneFactory(factory.build),
+	)
+	factory.svc = svc
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 
 	// One independent deployment and system per zone. Day-0 surveys are
 	// the expensive part of startup; each zone pays it once.
-	deps := make([]*tafloc.Deployment, *zones)
 	for i := 0; i < *zones; i++ {
-		dep, err := tafloc.NewDeployment(tafloc.PaperConfig())
-		if err != nil {
-			log.Fatal(err)
-		}
-		sys, err := tafloc.BuildSystem(dep)
-		if err != nil {
-			log.Fatal(err)
-		}
 		id := fmt.Sprintf("zone-%d", i)
+		sys, err := factory.build(ctx, id, tafloc.ZoneSpec{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		if err := svc.AddZone(id, sys); err != nil {
 			log.Fatal(err)
 		}
-		deps[i] = dep
+		dep, _ := factory.deployment(id)
 		fmt.Printf("%s: %d links over %d cells, %d reference locations\n",
 			id, dep.Channel.M(), dep.Grid.Cells(), len(sys.References()))
 	}
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer cancel()
 	if err := svc.Start(ctx); err != nil {
 		log.Fatal(err)
 	}
 
-	if *sim {
-		for i := 0; i < *zones; i++ {
-			go simulateZone(ctx, svc, deps[i], fmt.Sprintf("zone-%d", i), *days, *interval)
-		}
-		fmt.Printf("simulating one walking target per zone every %v\n", *interval)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	server := &http.Server{Handler: svc.Handler()}
 	go func() {
 		<-ctx.Done()
 		shutCtx, shutCancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer shutCancel()
 		_ = server.Shutdown(shutCtx)
 	}()
-	fmt.Printf("serving %d zones on %s (parallel workers: %d)\n", *zones, *addr, tafloc.Workers())
-	if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+
+	if *sim {
+		baseURL := dialableURL(ln.Addr())
+		go func() {
+			cli, err := client.Dial(ctx, baseURL)
+			if err != nil {
+				log.Printf("simulator: %v", err)
+				return
+			}
+			for i := 0; i < *zones; i++ {
+				id := fmt.Sprintf("zone-%d", i)
+				dep, _ := factory.deployment(id)
+				go simulateZone(ctx, cli, dep, id, *days, *interval)
+			}
+		}()
+		fmt.Printf("simulating one walking target per zone every %v (reports via %s)\n",
+			*interval, baseURL)
+	}
+
+	fmt.Printf("serving %d zones on %s (matcher %s, detector %s, parallel workers: %d)\n",
+		*zones, ln.Addr(), *matcher, *detector, tafloc.Workers())
+	if err := server.Serve(ln); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
 	svc.Stop()
 	svc.Wait()
 }
 
+func contains(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+// dialableURL turns a listener address into a loopback base URL (a
+// wildcard listen address is not dialable as-is).
+func dialableURL(addr net.Addr) string {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "http://" + addr.String()
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" || strings.HasPrefix(host, "%") {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
 // simulateZone walks a target on a Lissajous path through the zone and
-// feeds one report batch per tick. Each zone has its own deployment, so
-// the (non-concurrency-safe) channel sampler is only touched here.
-func simulateZone(ctx context.Context, svc *tafloc.Service, dep *tafloc.Deployment, id string, days float64, interval time.Duration) {
+// feeds one report batch per tick through the client SDK. Each zone has
+// its own deployment, so the (non-concurrency-safe) channel sampler is
+// only touched here.
+func simulateZone(ctx context.Context, cli *client.Client, dep *tafloc.Deployment, id string, days float64, interval time.Duration) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	t := 0.0
@@ -120,12 +253,13 @@ func simulateZone(ctx context.Context, svc *tafloc.Service, dep *tafloc.Deployme
 			Y: dep.Grid.Height * (0.5 + 0.4*math.Sin(0.31*t+1)),
 		}
 		y := dep.Channel.MeasureLive(p, days)
-		batch := make([]tafloc.ZoneReport, len(y))
+		batch := make([]client.Report, len(y))
 		for i, v := range y {
-			batch[i] = tafloc.ZoneReport{Link: i, RSS: v}
+			batch[i] = client.Report{Link: i, RSS: v}
 		}
 		// Shed silently on overload: the service's bounded queues are the
-		// backpressure mechanism.
-		_ = svc.Report(id, batch)
+		// backpressure mechanism, and the zone may have been removed over
+		// the API.
+		_, _ = cli.Report(ctx, id, batch)
 	}
 }

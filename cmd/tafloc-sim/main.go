@@ -25,6 +25,8 @@ func main() {
 	targets := flag.Int("targets", 40, "number of random evaluation targets")
 	window := flag.Int("window", 10, "live samples averaged per localization")
 	seed := flag.Uint64("seed", 1, "channel seed (selects the random universe)")
+	matcher := flag.String("matcher", "wknn",
+		fmt.Sprintf("localization matcher %v", tafloc.MatcherNames()))
 	flag.Parse()
 
 	cfg := tafloc.PaperConfig()
@@ -39,12 +41,12 @@ func main() {
 	fmt.Printf("deployment: %d links, %d cells, channel seed %d\n",
 		dep.Channel.M(), dep.Grid.Cells(), *seed)
 
-	sys, err := tafloc.BuildSystem(dep)
+	sys, err := tafloc.OpenDeployment(dep, tafloc.WithMatcher(*matcher))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("day-0 survey: %.2f h, %d reference locations\n",
-		dep.FullSurveyCost().Hours(), len(sys.References()))
+	fmt.Printf("day-0 survey: %.2f h, %d reference locations (matcher %s)\n",
+		dep.FullSurveyCost().Hours(), len(sys.References()), *matcher)
 
 	if *update {
 		refCols, cost := dep.SurveyCells(sys.References(), *days)

@@ -1,18 +1,36 @@
 // Command comparison runs the Fig 5 head-to-head on one deployment:
 // TafLoc, RTI, and RASS with/without the reconstruction scheme, all
 // localizing the same targets three months after the initial survey. It
-// prints per-system medians and the full error CDFs.
+// prints per-system medians and the full error CDFs, then serves the
+// TafLoc system as a zone and queries it back through the typed client
+// SDK over a real HTTP connection.
+//
+// Run with -short for a reduced harness (CI mode).
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"time"
 
 	"tafloc"
+	"tafloc/client"
 )
 
 func main() {
+	short := flag.Bool("short", false, "reduced harness (fewer targets and samples)")
+	flag.Parse()
+
 	cfg := tafloc.DefaultExperimentConfig()
+	if *short {
+		cfg.Testbed.SamplesPerCell = 5
+		cfg.TestTargets = 10
+		cfg.LiveWindow = 4
+	}
 	fig, err := tafloc.Fig5(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -31,11 +49,61 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := tafloc.BuildSystem(dep)
+	sys, err := tafloc.OpenDeployment(dep)
 	if err != nil {
 		log.Fatal(err)
 	}
 	_, refCost := dep.SurveyCells(sys.References(), 90)
 	fmt.Printf("\nupdate cost: TafLoc %.2f h vs full re-survey %.2f h\n",
 		refCost.Hours(), dep.FullSurveyCost().Hours())
+
+	// Serve the day-0 system as a zone and read one estimate back
+	// through the client SDK.
+	svc := tafloc.NewService(tafloc.WithWindow(4), tafloc.WithDetectThreshold(0.25))
+	if err := svc.AddZone("arena", sys); err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := svc.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &http.Server{Handler: svc.Handler()}
+	go func() { _ = server.Serve(ln) }()
+	defer server.Close()
+
+	cli, err := client.Dial(ctx, "http://"+ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := tafloc.Point{X: 0.4 * dep.Grid.Width, Y: 0.6 * dep.Grid.Height}
+	for s := 0; s < 8; s++ {
+		y := dep.Channel.MeasureLive(target, 0)
+		batch := make([]client.Report, len(y))
+		for i, v := range y {
+			batch[i] = client.Report{Link: i, RSS: v}
+		}
+		if _, err := cli.Report(ctx, "arena", batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		est, err := cli.Position(ctx, "arena")
+		if err == nil && est.Present {
+			fmt.Printf("served estimate via client SDK: %v (target %v, err %.2f m)\n",
+				est.Point, target, est.Point.Dist(target))
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("no served estimate before deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	svc.Wait()
 }

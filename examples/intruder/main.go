@@ -1,56 +1,94 @@
 // Command intruder runs the full networked pipeline on localhost: a
 // collector listens on UDP/TCP, simulated link agents stream RSS report
-// frames, and a detection loop watches for a device-free intruder. When
-// presence is detected, the live window is localized and an alert is
-// printed — the paper's intruder-detection motivation end to end.
+// frames, the collector's sink feeds the multi-zone service, and the
+// service is watched through the typed client SDK — alerts arrive as
+// streamed position estimates over the /v2 SSE watch, the paper's
+// intruder-detection motivation end to end. When the demo window
+// closes, the zone is removed over the API and the watch stream ends
+// with its terminal event.
+//
+// Run with -short for a faster, smaller demo (CI mode).
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"sync"
 	"time"
 
 	"tafloc"
+	"tafloc/client"
 )
 
 func main() {
-	dep, err := tafloc.NewDeployment(tafloc.PaperConfig())
+	short := flag.Bool("short", false, "reduced deployment and run time")
+	flag.Parse()
+
+	cfg := tafloc.PaperConfig()
+	runFor := 9 * time.Second
+	enterAt := 2.0
+	if *short {
+		cfg.SamplesPerCell = 5
+		runFor = 4 * time.Second
+		enterAt = 1.0
+	}
+	dep, err := tafloc.NewDeployment(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := tafloc.BuildSystem(dep)
+	sys, err := tafloc.OpenDeployment(dep, tafloc.WithMatcher("wknn"))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Start the collector on loopback.
-	col, err := tafloc.NewCollector(dep.Channel.M(), 8)
-	if err != nil {
+	// The serving layer: one zone, fed by the collector sink below,
+	// gated by the "mad" presence detector.
+	svc := tafloc.NewService(
+		tafloc.WithWindow(8),
+		tafloc.WithDetectThreshold(0.8),
+		tafloc.WithDetector("mad"),
+	)
+	if err := svc.AddZone("room", sys); err != nil {
 		log.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	if err := svc.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// Start the collector on loopback and forward every decoded frame
+	// into the service.
+	col, err := tafloc.NewCollector(dep.Channel.M(), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	col.SetSink(func(r tafloc.RSSReport) {
+		_ = svc.Report("room", []tafloc.ZoneReport{tafloc.ReportFromWire(&r)})
+	})
 	dataAddr, ctrlAddr, err := col.Start(ctx, "127.0.0.1:0", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("collector: data %s, control %s\n", dataAddr, ctrlAddr)
 
-	// The intruder enters the room at t=2s and walks diagonally. The
-	// target function is shared by all agents, so every link observes a
-	// consistent position.
+	// The intruder enters the room at enterAt seconds and walks
+	// diagonally. The target function is shared by all agents, so every
+	// link observes a consistent position.
 	start := time.Now()
 	var mu sync.Mutex
 	intruderAt := func() (tafloc.Point, bool) {
 		mu.Lock()
 		defer mu.Unlock()
 		elapsed := time.Since(start).Seconds()
-		if elapsed < 2 {
+		if elapsed < enterAt {
 			return tafloc.Point{}, false // room still empty
 		}
-		frac := (elapsed - 2) / 6
+		frac := (elapsed - enterAt) / 6
 		if frac > 1 {
 			frac = 1
 		}
@@ -73,7 +111,7 @@ func main() {
 		fleet.Run(ctx)
 	}()
 
-	// Health check over the control plane.
+	// Health check over the collector's control plane.
 	orch, err := tafloc.DialOrchestrator(ctrlAddr)
 	if err != nil {
 		log.Fatal(err)
@@ -83,39 +121,57 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Detection loop: poll the live window, gate on presence, localize.
-	fmt.Println("monitoring...")
-	alerts := 0
-	deadline := time.After(9 * time.Second)
-	ticker := time.NewTicker(250 * time.Millisecond)
-	defer ticker.Stop()
-loop:
-	for {
-		select {
-		case <-deadline:
-			break loop
-		case <-ticker.C:
-			y, ok := col.Store.LiveVector()
-			if !ok {
-				continue // not all links reporting yet
-			}
-			present, dev := sys.Detect(y, 0.8)
-			if !present {
-				continue
-			}
-			loc, err := sys.Locate(y)
-			if err != nil {
-				log.Fatal(err)
-			}
-			truth, _ := intruderAt()
-			alerts++
-			fmt.Printf("ALERT t=%4.1fs deviation %.2f dB -> intruder near %v (truth %v, err %.2f m)\n",
-				time.Since(start).Seconds(), dev, loc.Point, truth, loc.Point.Dist(truth))
+	// Serve the HTTP surface and watch the zone through the client SDK.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &http.Server{Handler: svc.Handler()}
+	go func() { _ = server.Serve(ln) }()
+	defer server.Close()
+	cli, err := client.Dial(ctx, "http://"+ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch, err := cli.Watch(ctx, "room")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Close the demo window by removing the zone over the API: the watch
+	// stream then delivers its terminal event and ends.
+	go func() {
+		time.Sleep(runFor)
+		if err := cli.RemoveZone(context.Background(), "room"); err != nil {
+			log.Printf("remove zone: %v", err)
 		}
+	}()
+
+	fmt.Println("monitoring (alerts stream over /v2 watch)...")
+	alerts := 0
+	var lastPrint time.Time
+	for est := range ch {
+		if est.Final {
+			fmt.Println("zone removed; watch stream terminated")
+			break
+		}
+		if !est.Present {
+			continue
+		}
+		alerts++
+		// The watch delivers every published estimate; print at most 4/s.
+		if time.Since(lastPrint) < 250*time.Millisecond {
+			continue
+		}
+		lastPrint = time.Now()
+		truth, _ := intruderAt()
+		fmt.Printf("ALERT t=%4.1fs deviation %.2f dB -> intruder near %v (truth %v, err %.2f m)\n",
+			time.Since(start).Seconds(), est.DeviationDB, est.Point, truth, est.Point.Dist(truth))
 	}
 	cancel()
 	wg.Wait()
 	stats := col.Store.Stats()
 	fmt.Printf("\ndone: %d alerts, %d frames received, %d dropped\n",
 		alerts, stats.FramesReceived, stats.FramesDropped)
+	svc.Wait()
 }

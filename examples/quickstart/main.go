@@ -1,19 +1,40 @@
 // Command quickstart walks the full TafLoc lifecycle on the paper's
-// deployment: day-0 survey, three months of environmental drift, a
-// low-cost fingerprint update from 10-ish reference locations, and a
-// localization before/after comparison.
+// deployment with the v2 API: day-0 survey via tafloc.OpenDeployment
+// with functional options, three months of environmental drift, a
+// cancellable low-cost fingerprint update, a localization before/after
+// comparison — and finally serves the refreshed system over HTTP and
+// streams live position estimates back through the typed client SDK.
+//
+// Run with -short for a reduced deployment (used by CI to catch API
+// drift in the examples).
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 
 	"tafloc"
+	"tafloc/client"
 )
 
 func main() {
+	short := flag.Bool("short", false, "reduced deployment and sample counts")
+	flag.Parse()
+
 	// 1. Deploy the paper testbed: 96 cells of 0.6 m, 10 links.
-	dep, err := tafloc.NewDeployment(tafloc.PaperConfig())
+	cfg := tafloc.PaperConfig()
+	win := 10
+	if *short {
+		cfg.RoomW, cfg.RoomH = 3.6, 2.4
+		cfg.Links = 6
+		cfg.SamplesPerCell = 5
+		win = 4
+	}
+	dep, err := tafloc.NewDeployment(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -21,7 +42,9 @@ func main() {
 		dep.Channel.M(), dep.Grid.Cells(), dep.Grid.Width, dep.Grid.Height)
 
 	// 2. Day-0 full survey builds the system (the one expensive pass).
-	sys, err := tafloc.BuildSystem(dep)
+	// Functional options select the strategies; "wknn" is the mask-aware
+	// default matcher.
+	sys, err := tafloc.OpenDeployment(dep, tafloc.WithMatcher("wknn"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,8 +55,8 @@ func main() {
 	// 3. Three months later the RSS has drifted. Localizing with the
 	// stale database degrades.
 	const days = 90
-	target := tafloc.Point{X: 4.5, Y: 2.7}
-	y := liveWindow(dep, target, days, 10)
+	target := tafloc.Point{X: 0.45 * dep.Grid.Width, Y: 0.55 * dep.Grid.Height}
+	y := liveWindow(dep, target, days, win)
 	locStale, err := sys.Locate(y)
 	if err != nil {
 		log.Fatal(err)
@@ -42,9 +65,11 @@ func main() {
 		days, locStale.Point, locStale.Point.Dist(target))
 
 	// 4. TafLoc update: survey only the reference cells plus one vacant
-	// capture, then reconstruct the whole database with LoLi-IR.
+	// capture, then reconstruct the whole database with LoLi-IR. The
+	// context makes long reconstructions cancellable.
+	ctx := context.Background()
 	refCols, cost := dep.SurveyCells(sys.References(), days)
-	rec, err := sys.Update(refCols, dep.VacantCapture(days, 100))
+	rec, err := sys.UpdateContext(ctx, refCols, dep.VacantCapture(days, 100))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,6 +85,65 @@ func main() {
 	}
 	fmt.Printf("\nupdated-database estimate: %v (error %.2f m)\n",
 		locFresh.Point, locFresh.Point.Dist(target))
+
+	// 6. Serve the refreshed system as a zone and consume it the way any
+	// remote client would: reports in over HTTP, estimates streamed back
+	// over the SSE watch.
+	svc := tafloc.NewService(
+		tafloc.WithWindow(win),
+		tafloc.WithDetectThreshold(0.25),
+	)
+	if err := svc.AddZone("room", sys); err != nil {
+		log.Fatal(err)
+	}
+	srvCtx, srvCancel := context.WithCancel(ctx)
+	defer srvCancel()
+	if err := svc.Start(srvCtx); err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &http.Server{Handler: svc.Handler()}
+	go func() { _ = server.Serve(ln) }()
+	defer server.Close()
+
+	cli, err := client.Dial(ctx, "http://"+ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	ch, err := cli.Watch(watchCtx, "room")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		for i := 0; i < 24; i++ {
+			batch := make([]client.Report, len(y))
+			live := dep.Channel.MeasureLive(target, days)
+			for j, v := range live {
+				batch[j] = client.Report{Link: j, RSS: v}
+			}
+			if _, err := cli.Report(watchCtx, "room", batch); err != nil {
+				return
+			}
+		}
+	}()
+
+	fmt.Printf("\nserving zone \"room\" on %s; streaming estimates over /v2 watch:\n", ln.Addr())
+	seen := 0
+	for est := range ch {
+		fmt.Printf("  estimate seq=%d present=%v point=%v (error %.2f m)\n",
+			est.Seq, est.Present, est.Point, est.Point.Dist(target))
+		if seen++; seen == 3 {
+			stopWatch() // cancelling the context ends the stream
+		}
+	}
+	fmt.Println("watch stream closed; done")
+	svc.Stop()
+	svc.Wait()
 }
 
 // liveWindow averages win noisy live samples, as a tracker would.

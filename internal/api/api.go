@@ -1,0 +1,141 @@
+// Package api holds the wire data types shared by the service's HTTP
+// surface (internal/serve) and the typed client SDK (package client).
+// Keeping one definition of every request and response body guarantees
+// the two sides cannot drift: the server marshals and the client
+// unmarshals the same structs.
+//
+// JSON field order and tags on Report, Estimate, and ZoneStats are part
+// of the frozen /v1 contract — new fields may only be appended with
+// omitempty so that /v1 responses stay byte-identical.
+package api
+
+import (
+	"time"
+
+	"tafloc/internal/geom"
+	"tafloc/taflocerr"
+)
+
+// Report is one RSS sample addressed to one link of a zone.
+type Report struct {
+	// Link is the link index within the zone's deployment.
+	Link int `json:"link"`
+	// RSS is the sample in dBm.
+	RSS float64 `json:"rss"`
+	// Vacant marks a sample known to be taken with no target present.
+	// Vacant samples additionally refresh the zone's vacant baseline, so
+	// presence detection tracks environmental drift between fingerprint
+	// updates.
+	Vacant bool `json:"vacant,omitempty"`
+}
+
+// Estimate is a zone's most recent position estimate, as published to
+// the read-mostly snapshot and streamed to watchers.
+type Estimate struct {
+	// Zone is the zone ID the estimate belongs to.
+	Zone string `json:"zone"`
+	// Seq increases by one per published estimate across the service, so
+	// readers can order estimates and detect staleness.
+	Seq uint64 `json:"seq"`
+	// Present reports whether the detection gate saw a target; when it is
+	// false the location fields are zero and Cell is -1.
+	Present bool `json:"present"`
+	// DeviationDB is the live vector's mean absolute deviation from the
+	// zone's vacant baseline (the detection signal).
+	DeviationDB float64 `json:"deviation_db"`
+	// Cell is the best-matching grid cell (-1 when absent).
+	Cell int `json:"cell"`
+	// Point is the fine-grained position estimate in metres.
+	Point geom.Point `json:"point"`
+	// Distance is the fingerprint-space distance of the winning match.
+	Distance float64 `json:"distance"`
+	// Confidence is the matcher's posterior mass when it computes one.
+	Confidence float64 `json:"confidence,omitempty"`
+	// Reports is the total number of reports the zone had consumed when
+	// the estimate was computed.
+	Reports uint64 `json:"reports"`
+	// Time is when the estimate was published.
+	Time time.Time `json:"time"`
+	// Final marks the terminal event a watch stream receives when its
+	// zone is removed; no further estimates follow. Never set on
+	// snapshot reads, so /v1 bodies are unchanged.
+	Final bool `json:"final,omitempty"`
+}
+
+// ZoneStats snapshots one zone's counters.
+type ZoneStats struct {
+	// Received counts reports accepted into the queue.
+	Received uint64 `json:"received"`
+	// Dropped counts reports shed because the queue was full or the link
+	// index was out of range.
+	Dropped uint64 `json:"dropped"`
+	// Batches counts processing rounds (batched match queries answered).
+	Batches uint64 `json:"batches"`
+	// Estimates counts published estimates.
+	Estimates uint64 `json:"estimates"`
+	// MatchErrors counts batches whose match query failed; a zone whose
+	// MatchErrors advances while Estimates stalls is misconfigured, not
+	// warming up.
+	MatchErrors uint64 `json:"match_errors,omitempty"`
+	// QueueLen is the instantaneous number of pending batches.
+	QueueLen int `json:"queue_len"`
+}
+
+// ReportRequest is the body of POST /v1/report and POST /v2/report.
+type ReportRequest struct {
+	Zone    string   `json:"zone"`
+	Reports []Report `json:"reports"`
+}
+
+// ReportResponse is the success body of the report endpoints.
+type ReportResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// ZoneList is the body of GET /v1/zones and GET /v2/zones.
+type ZoneList struct {
+	Zones []string `json:"zones"`
+}
+
+// ZoneSpec parameterizes server-side zone creation for POST
+// /v2/zones/{id}. What a server does with it depends on its configured
+// zone factory; cmd/tafloc-serve builds a simulated deployment of the
+// requested geometry. Zero values select the factory's defaults.
+type ZoneSpec struct {
+	// Width and Height are the monitored area in metres.
+	Width  float64 `json:"width,omitempty"`
+	Height float64 `json:"height,omitempty"`
+	// Links is the number of radio links to deploy.
+	Links int `json:"links,omitempty"`
+	// CellSize is the grid cell edge in metres.
+	CellSize float64 `json:"cell_size,omitempty"`
+	// Days is the simulated environment age at the day-0 survey.
+	Days float64 `json:"days,omitempty"`
+}
+
+// ZoneInfo is the success body of POST/DELETE /v2/zones/{id}.
+type ZoneInfo struct {
+	Zone string `json:"zone"`
+	// Links and Cells describe the created zone's deployment (creation
+	// responses only).
+	Links int `json:"links,omitempty"`
+	Cells int `json:"cells,omitempty"`
+	// Removed is true on deletion responses.
+	Removed bool `json:"removed,omitempty"`
+}
+
+// Health is the body of GET /v2/healthz. (/v1/healthz keeps its frozen
+// ad-hoc shape for compatibility.)
+type Health struct {
+	Status  string               `json:"status"`
+	Zones   int                  `json:"zones"`
+	UptimeS float64              `json:"uptime_s"`
+	Stats   map[string]ZoneStats `json:"stats"`
+}
+
+// ErrorBody is the error response shape of the /v2 endpoints: the /v1
+// {"error": msg} body plus the taxonomy code.
+type ErrorBody struct {
+	Error string         `json:"error"`
+	Code  taflocerr.Code `json:"code,omitempty"`
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"tafloc/internal/mat"
+	"tafloc/taflocerr"
 )
 
 // LoLiOptions are the hyperparameters of the LoLi-IR reconstruction
@@ -174,9 +176,21 @@ func (rc *Reconstructor) Layout() *Layout { return rc.layout }
 // distortion pattern itself rather than a rank-1 baseline that would
 // otherwise dominate the spectrum and defeat rank selection.
 func (rc *Reconstructor) Reconstruct(in UpdateInput) (*Reconstruction, error) {
+	return rc.ReconstructContext(context.Background(), in)
+}
+
+// ReconstructContext is Reconstruct with cancellation: ctx is checked
+// before the expensive initialization and once per outer alternation, so
+// a long LoLi-IR run on a large deployment terminates within one
+// iteration of the context being cancelled. The returned error wraps
+// ctx.Err() and carries taflocerr.CodeCancelled.
+func (rc *Reconstructor) ReconstructContext(ctx context.Context, in UpdateInput) (*Reconstruction, error) {
 	l := rc.layout
 	if err := in.Validate(l); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, taflocerr.Errorf(taflocerr.CodeCancelled, "core: reconstruction cancelled: %w", err)
 	}
 	m, n := l.M(), l.N()
 	o := rc.opts
@@ -240,6 +254,10 @@ func (rc *Reconstructor) Reconstruct(in UpdateInput) (*Reconstruction, error) {
 	rec := &Reconstruction{Rank: rank}
 	prevObj := math.Inf(1)
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, taflocerr.Errorf(taflocerr.CodeCancelled,
+				"core: reconstruction cancelled after %d iterations: %w", iter, err)
+		}
 		xrz := mat.Mul(xr, z)
 
 		// ---- L update: solve A_L(L) = b_L by CG ----

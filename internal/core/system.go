@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"tafloc/internal/mat"
+	"tafloc/taflocerr"
 )
 
 // SystemOptions configures a System.
@@ -17,6 +19,11 @@ type SystemOptions struct {
 	// mask-aware WeightedKNNMatcher, which tracks which database entries
 	// are measured vs reconstructed across updates.
 	Matcher Matcher
+	// MatcherName selects a matcher from the registry by name when
+	// Matcher is nil. The name "wknn" (or empty) keeps the built-in
+	// mask-aware path; any other name is resolved through
+	// NewMatcherByName at construction, so an unknown name fails fast.
+	MatcherName string
 	// RecSigmaDB is the assumed error std of reconstructed entries for
 	// the built-in weighted matcher (default 4 dB, the paper's 3-month
 	// reconstruction error scale).
@@ -94,6 +101,13 @@ func NewSystem(layout *Layout, survey *mat.Matrix, vacant []float64, opts System
 	if err != nil {
 		return nil, err
 	}
+	if opts.Matcher == nil && opts.MatcherName != "" && opts.MatcherName != MatcherWKNN {
+		m, merr := NewMatcherByName(opts.MatcherName)
+		if merr != nil {
+			return nil, merr
+		}
+		opts.Matcher = m
+	}
 	v := append([]float64(nil), vacant...)
 	return &System{
 		layout: layout,
@@ -138,11 +152,19 @@ func (s *System) Vacant() []float64 {
 // the order returned by References) and a fresh vacant capture, it
 // reconstructs the whole database with LoLi-IR and installs it.
 func (s *System) Update(refCols *mat.Matrix, vacant []float64) (*Reconstruction, error) {
+	return s.UpdateContext(context.Background(), refCols, vacant)
+}
+
+// UpdateContext is Update with cancellation: the LoLi-IR solver checks
+// ctx once per outer iteration, so a long reconstruction terminates
+// promptly when ctx is cancelled and the previous database stays
+// installed.
+func (s *System) UpdateContext(ctx context.Context, refCols *mat.Matrix, vacant []float64) (*Reconstruction, error) {
 	s.mu.RLock()
 	refs := append([]int(nil), s.refs...)
 	s.mu.RUnlock()
 
-	rec, err := s.recon.Reconstruct(UpdateInput{
+	rec, err := s.recon.ReconstructContext(ctx, UpdateInput{
 		RefIdx:  refs,
 		RefCols: refCols,
 		Vacant:  vacant,
@@ -179,6 +201,16 @@ func (s *System) Reselect() ([]int, error) {
 // trusts measured entries (vacant fills and reference columns) above
 // LoLi-IR-reconstructed ones.
 func (s *System) Locate(y []float64) (Location, error) {
+	return s.LocateContext(context.Background(), y)
+}
+
+// LocateContext is Locate with cancellation: a single match query is
+// fast, so ctx is checked once on entry; an already-cancelled context
+// returns immediately without touching the database.
+func (s *System) LocateContext(ctx context.Context, y []float64) (Location, error) {
+	if err := ctx.Err(); err != nil {
+		return Location{}, taflocerr.Errorf(taflocerr.CodeCancelled, "core: locate cancelled: %w", err)
+	}
 	s.mu.RLock()
 	x := s.x
 	obs := s.observed

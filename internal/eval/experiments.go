@@ -23,6 +23,9 @@ type ExperimentConfig struct {
 	LiveWindow int
 	// TestTargets is the number of evaluation positions for Fig 5.
 	TestTargets int
+	// Matcher selects the TafLoc localization matcher by registry name;
+	// empty keeps the mask-aware "wknn" default.
+	Matcher string
 }
 
 // DefaultExperimentConfig returns the configuration used by the
@@ -37,15 +40,17 @@ func DefaultExperimentConfig() ExperimentConfig {
 }
 
 // buildSystem surveys the deployment at day 0 and constructs the TafLoc
-// system plus its layout.
-func buildSystem(dep *testbed.Deployment) (*core.System, *core.Layout, error) {
+// system plus its layout, selecting the matcher by registry name.
+func buildSystem(dep *testbed.Deployment, matcher string) (*core.System, *core.Layout, error) {
 	layout, err := core.NewLayout(dep.Channel.Links(), dep.Grid, dep.Config.RF.MaskExcessM())
 	if err != nil {
 		return nil, nil, err
 	}
 	survey, _ := dep.Survey(0)
 	vacant := dep.VacantCapture(0, 100)
-	sys, err := core.NewSystem(layout, survey, vacant, core.DefaultSystemOptions())
+	opts := core.DefaultSystemOptions()
+	opts.MatcherName = matcher
+	sys, err := core.NewSystem(layout, survey, vacant, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -90,7 +95,7 @@ func Fig3(cfg ExperimentConfig) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys, layout, err := buildSystem(dep)
+	sys, layout, err := buildSystem(dep, cfg.Matcher)
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +187,7 @@ func Fig5(cfg ExperimentConfig) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys, layout, err := buildSystem(dep)
+	sys, layout, err := buildSystem(dep, cfg.Matcher)
 	if err != nil {
 		return nil, err
 	}

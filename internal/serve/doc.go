@@ -22,11 +22,36 @@
 // one heavy zone update uses the whole machine while the other zone
 // workers keep serving.
 //
-// The HTTP surface (Handler) exposes three endpoints:
+// Zones are first-class at runtime: AddZone launches a worker into a
+// running service, RemoveZone drains and stops one (rejecting new
+// reports, dropping the snapshot entry, and terminating watch streams
+// with a Final estimate), and UpdateZone swaps the backing core.System
+// atomically while counters and watch subscriptions survive. Watch
+// subscribes a buffered channel to a zone's estimate stream, fed from
+// the same copy-on-write publish path the snapshot uses.
+//
+// The HTTP surface (Handler) serves two versions side by side. The
+// frozen /v1 routes (byte-identical responses, pinned by fixture
+// tests):
 //
 //	POST /v1/report              ingest a batch of reports for one zone
+//	GET  /v1/zones               sorted zone IDs
 //	GET  /v1/zones/{id}/position the zone's latest estimate
 //	GET  /v1/healthz             service liveness and per-zone counters
+//
+// And the /v2 routes, which add taflocerr error codes on every failure,
+// runtime zone lifecycle, and a server-sent-events watch stream:
+//
+//	POST   /v2/report              as /v1, but a bad link index is 422 + code
+//	GET    /v2/zones               sorted zone IDs
+//	POST   /v2/zones/{id}          create a zone via the configured ZoneFactory
+//	DELETE /v2/zones/{id}          remove a zone at runtime
+//	GET    /v2/zones/{id}/position the zone's latest estimate
+//	GET    /v2/zones/{id}/watch    SSE estimate stream (see docs/API.md)
+//	GET    /v2/healthz             liveness and per-zone counters
+//
+// Package client is the typed SDK for the /v2 surface; the wire types
+// live in internal/api and the error taxonomy in tafloc/taflocerr.
 //
 // cmd/tafloc-serve wires the service to simulated deployments end to end.
 package serve

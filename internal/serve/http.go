@@ -13,12 +13,17 @@ type reportRequest struct {
 	Reports []Report `json:"reports"`
 }
 
-// Handler returns the service's HTTP surface:
+// Handler returns the service's HTTP surface.
+//
+// The frozen v1 routes (responses byte-identical across releases):
 //
 //	POST /v1/report              {"zone": "z0", "reports": [{"link": 0, "rss": -41.5}, ...]}
 //	GET  /v1/zones               sorted zone IDs
 //	GET  /v1/zones/{id}/position latest estimate for one zone
 //	GET  /v1/healthz             liveness plus per-zone counters
+//
+// The v2 routes add runtime zone lifecycle, a streaming watch, and
+// typed error codes; see http_v2.go and docs/API.md.
 //
 // Routing is matched manually so the handler behaves identically on every
 // supported Go version.
@@ -28,6 +33,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/zones", s.handleZoneList)
 	mux.HandleFunc("/v1/zones/", s.handleZone)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v2/report", s.handleReportV2)
+	mux.HandleFunc("/v2/zones", s.handleZoneListV2)
+	mux.HandleFunc("/v2/zones/", s.handleZoneV2)
+	mux.HandleFunc("/v2/healthz", s.handleHealthzV2)
 	return mux
 }
 

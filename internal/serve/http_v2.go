@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"tafloc/internal/api"
+	"tafloc/taflocerr"
+)
+
+// The /v2 surface: the /v1 routes plus runtime zone lifecycle and a
+// streaming watch, with every error carrying a taxonomy code.
+//
+//	POST   /v2/report             ingest a batch (422 + code bad_link on a bad link index)
+//	GET    /v2/zones              sorted zone IDs
+//	POST   /v2/zones/{id}         create a zone via the configured ZoneFactory
+//	DELETE /v2/zones/{id}         remove a zone at runtime
+//	GET    /v2/zones/{id}/position latest estimate
+//	GET    /v2/zones/{id}/watch   SSE stream of estimates
+//	GET    /v2/healthz            liveness and per-zone counters
+
+// errorV2 writes the typed error body, deriving status and code from
+// the taflocerr taxonomy.
+func errorV2(w http.ResponseWriter, err error) {
+	code := taflocerr.CodeOf(err)
+	writeJSON(w, taflocerr.HTTPStatus(code), api.ErrorBody{Error: err.Error(), Code: code})
+}
+
+func methodNotAllowedV2(w http.ResponseWriter, want string) {
+	errorV2(w, taflocerr.Errorf(taflocerr.CodeMethodNotAllowed, "serve: %s only", want))
+}
+
+func (s *Service) handleReportV2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowedV2(w, http.MethodPost)
+		return
+	}
+	var req api.ReportRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxReportBody)).Decode(&req); err != nil {
+		errorV2(w, taflocerr.Errorf(taflocerr.CodeBadRequest, "serve: bad JSON: %v", err))
+		return
+	}
+	if err := s.Report(req.Zone, req.Reports); err != nil {
+		errorV2(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, api.ReportResponse{Accepted: len(req.Reports)})
+}
+
+func (s *Service) handleZoneListV2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowedV2(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ZoneList{Zones: s.Zones()})
+}
+
+func (s *Service) handleZoneV2(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v2/zones/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		errorV2(w, taflocerr.Errorf(taflocerr.CodeBadRequest,
+			"serve: want /v2/zones/{id}[/position|/watch]"))
+		return
+	}
+	switch sub {
+	case "":
+		switch r.Method {
+		case http.MethodPost:
+			s.handleZoneCreate(w, r, id)
+		case http.MethodDelete:
+			s.handleZoneDelete(w, id)
+		default:
+			methodNotAllowedV2(w, "POST or DELETE")
+		}
+	case "position":
+		if r.Method != http.MethodGet {
+			methodNotAllowedV2(w, http.MethodGet)
+			return
+		}
+		if _, ok := s.System(id); !ok {
+			errorV2(w, ErrUnknownZone)
+			return
+		}
+		e, ok := s.Position(id)
+		if !ok {
+			errorV2(w, taflocerr.Errorf(taflocerr.CodeNotReady,
+				"serve: zone %q has not published an estimate yet", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, e)
+	case "watch":
+		if r.Method != http.MethodGet {
+			methodNotAllowedV2(w, http.MethodGet)
+			return
+		}
+		s.handleWatch(w, r, id)
+	default:
+		errorV2(w, taflocerr.Errorf(taflocerr.CodeBadRequest,
+			"serve: unknown zone subresource %q", sub))
+	}
+}
+
+func (s *Service) handleZoneCreate(w http.ResponseWriter, r *http.Request, id string) {
+	factory := s.cfg.ZoneFactory
+	if factory == nil {
+		errorV2(w, taflocerr.Errorf(taflocerr.CodeUnsupported,
+			"serve: zone creation over HTTP requires a ZoneFactory"))
+		return
+	}
+	var spec api.ZoneSpec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxReportBody)).Decode(&spec); err != nil && !errors.Is(err, io.EOF) {
+		errorV2(w, taflocerr.Errorf(taflocerr.CodeBadRequest, "serve: bad JSON: %v", err))
+		return
+	}
+	sys, err := factory(r.Context(), id, spec)
+	if err != nil {
+		errorV2(w, err)
+		return
+	}
+	if err := s.AddZone(id, sys); err != nil {
+		errorV2(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.ZoneInfo{
+		Zone:  id,
+		Links: sys.Layout().M(),
+		Cells: sys.Layout().N(),
+	})
+}
+
+func (s *Service) handleZoneDelete(w http.ResponseWriter, id string) {
+	if err := s.RemoveZone(id); err != nil {
+		errorV2(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ZoneInfo{Zone: id, Removed: true})
+}
+
+// handleWatch streams a zone's estimates as server-sent events:
+//
+//	event: estimate
+//	data: {json Estimate}
+//
+// repeated per published estimate, and a final
+//
+//	event: gone
+//	data: {json Estimate with final:true}
+//
+// when the zone is removed, after which the stream ends. The stream also
+// ends when the client disconnects or its request context is cancelled.
+func (s *Service) handleWatch(w http.ResponseWriter, r *http.Request, id string) {
+	ch, stop, err := s.Watch(id)
+	if err != nil {
+		errorV2(w, err)
+		return
+	}
+	defer stop()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		errorV2(w, taflocerr.Errorf(taflocerr.CodeInternal, "serve: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, open := <-ch:
+			if !open {
+				// Zone removed; the terminal estimate may have been shed if
+				// this watcher was saturated, so synthesize one — the
+				// client contract is that the last event is always "gone".
+				writeSSE(w, "gone", Estimate{Zone: id, Cell: -1, Final: true})
+				fl.Flush()
+				return
+			}
+			event := "estimate"
+			if e.Final {
+				event = "gone"
+			}
+			writeSSE(w, event, e)
+			fl.Flush()
+			if e.Final {
+				return
+			}
+		}
+	}
+}
+
+func writeSSE(w io.Writer, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+func (s *Service) handleHealthzV2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowedV2(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.Health{
+		Status:  "ok",
+		Zones:   len(s.Zones()),
+		UptimeS: s.Uptime().Seconds(),
+		Stats:   s.Stats(),
+	})
+}

@@ -2,26 +2,36 @@ package serve
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tafloc/internal/api"
 	"tafloc/internal/core"
-	"tafloc/internal/geom"
 	"tafloc/internal/wire"
+	"tafloc/taflocerr"
 )
 
-// Service errors.
+// Service errors. Each carries a taflocerr code, so callers can branch
+// with errors.Is against either these exact values or the canonical
+// taflocerr sentinels; the messages are frozen because the /v1 handlers
+// serialize them verbatim.
 var (
-	ErrZoneExists  = errors.New("serve: zone already registered")
-	ErrUnknownZone = errors.New("serve: unknown zone")
-	ErrQueueFull   = errors.New("serve: zone queue full")
-	ErrStarted     = errors.New("serve: service already started")
-	ErrBadReport   = errors.New("serve: report link out of range")
+	ErrZoneExists  error = taflocerr.New(taflocerr.CodeZoneExists, "serve: zone already registered")
+	ErrUnknownZone error = taflocerr.New(taflocerr.CodeUnknownZone, "serve: unknown zone")
+	ErrQueueFull   error = taflocerr.New(taflocerr.CodeQueueFull, "serve: zone queue full")
+	ErrStarted     error = taflocerr.New(taflocerr.CodeStarted, "serve: service already started")
+	ErrBadReport   error = taflocerr.New(taflocerr.CodeBadLink, "serve: report link out of range")
 )
+
+// ZoneFactory builds a core.System for a zone created over the wire
+// (POST /v2/zones/{id}). The factory decides what a ZoneSpec means —
+// cmd/tafloc-serve surveys a simulated deployment of the requested
+// geometry. A service without a factory rejects wire-side creation with
+// taflocerr.CodeUnsupported.
+type ZoneFactory func(ctx context.Context, id string, spec api.ZoneSpec) (*core.System, error)
 
 // Config tunes the service. The zero value selects the defaults noted on
 // each field.
@@ -40,6 +50,15 @@ type Config struct {
 	// baseline publish an absent estimate without paying for matching
 	// (default 1 dB).
 	DetectThresholdDB float64
+	// Detector names the presence-detection strategy from the core
+	// registry (default core.DetectorMAD). Unknown names fail at New.
+	Detector string
+	// WatchBuffer is the per-watcher event buffer; a watcher that falls
+	// more than this many estimates behind misses the intermediate ones
+	// (default 16).
+	WatchBuffer int
+	// ZoneFactory enables zone creation over the /v2 HTTP surface.
+	ZoneFactory ZoneFactory
 }
 
 func (c Config) withDefaults() Config {
@@ -55,73 +74,30 @@ func (c Config) withDefaults() Config {
 	if c.DetectThresholdDB <= 0 {
 		c.DetectThresholdDB = 1
 	}
+	if c.Detector == "" {
+		c.Detector = core.DetectorMAD
+	}
+	if c.WatchBuffer <= 0 {
+		c.WatchBuffer = 16
+	}
 	return c
 }
 
-// Report is one RSS sample addressed to one link of a zone.
-type Report struct {
-	// Link is the link index within the zone's deployment.
-	Link int `json:"link"`
-	// RSS is the sample in dBm.
-	RSS float64 `json:"rss"`
-	// Vacant marks a sample known to be taken with no target present.
-	// Vacant samples additionally refresh the zone's vacant baseline, so
-	// presence detection tracks environmental drift between fingerprint
-	// updates.
-	Vacant bool `json:"vacant,omitempty"`
-}
+// Report is one RSS sample addressed to one link of a zone (shared wire
+// type; see internal/api).
+type Report = api.Report
+
+// Estimate is a zone's most recent position estimate, as published to
+// the read-mostly snapshot (shared wire type; see internal/api).
+type Estimate = api.Estimate
+
+// ZoneStats snapshots one zone's counters (shared wire type; see
+// internal/api).
+type ZoneStats = api.ZoneStats
 
 // FromWire converts a decoded data-plane frame into a service report.
 func FromWire(r *wire.RSSReport) Report {
 	return Report{Link: int(r.LinkID), RSS: r.RSS(), Vacant: r.Vacant()}
-}
-
-// Estimate is a zone's most recent position estimate, as published to the
-// read-mostly snapshot.
-type Estimate struct {
-	// Zone is the zone ID the estimate belongs to.
-	Zone string `json:"zone"`
-	// Seq increases by one per published estimate across the service, so
-	// readers can order estimates and detect staleness.
-	Seq uint64 `json:"seq"`
-	// Present reports whether the detection gate saw a target; when it is
-	// false the location fields are zero and Cell is -1.
-	Present bool `json:"present"`
-	// DeviationDB is the live vector's mean absolute deviation from the
-	// zone's vacant baseline (the detection signal).
-	DeviationDB float64 `json:"deviation_db"`
-	// Cell is the best-matching grid cell (-1 when absent).
-	Cell int `json:"cell"`
-	// Point is the fine-grained position estimate in metres.
-	Point geom.Point `json:"point"`
-	// Distance is the fingerprint-space distance of the winning match.
-	Distance float64 `json:"distance"`
-	// Confidence is the matcher's posterior mass when it computes one.
-	Confidence float64 `json:"confidence,omitempty"`
-	// Reports is the total number of reports the zone had consumed when
-	// the estimate was computed.
-	Reports uint64 `json:"reports"`
-	// Time is when the estimate was published.
-	Time time.Time `json:"time"`
-}
-
-// ZoneStats snapshots one zone's counters.
-type ZoneStats struct {
-	// Received counts reports accepted into the queue.
-	Received uint64 `json:"received"`
-	// Dropped counts reports shed because the queue was full or the link
-	// index was out of range.
-	Dropped uint64 `json:"dropped"`
-	// Batches counts processing rounds (batched match queries answered).
-	Batches uint64 `json:"batches"`
-	// Estimates counts published estimates.
-	Estimates uint64 `json:"estimates"`
-	// MatchErrors counts batches whose match query failed; a zone whose
-	// MatchErrors advances while Estimates stalls is misconfigured, not
-	// warming up.
-	MatchErrors uint64 `json:"match_errors,omitempty"`
-	// QueueLen is the instantaneous number of pending batches.
-	QueueLen int `json:"queue_len"`
 }
 
 // zone is one shard: a core.System plus the worker-owned ingest state.
@@ -148,51 +124,60 @@ type zone struct {
 	batches     atomic.Uint64
 	estimates   atomic.Uint64
 	matchErrors atomic.Uint64
+
+	// Worker lifecycle: cancel stops this zone's worker, done closes when
+	// it has exited. Both are nil until the zone's worker starts.
+	cancel context.CancelFunc
+	done   chan struct{}
 }
 
 // Service is the sharded multi-zone localization frontend. Register zones
-// with AddZone, launch the workers with Start, ingest with Report, and
-// read positions lock-free with Position.
+// with AddZone (before or after Start), launch the workers with Start,
+// ingest with Report, read positions lock-free with Position, and stream
+// them with Watch. Zones can be added, removed, and swapped at runtime.
 type Service struct {
 	cfg Config
+	det core.DetectorFactory
 
-	mu    sync.RWMutex // guards zones/order mutation and snapshot publication
-	zones map[string]*zone
-	order []string
+	mu       sync.RWMutex // guards zones/order/watchers mutation and snapshot publication
+	zones    map[string]*zone
+	order    []string
+	watchers map[string]map[chan Estimate]bool
 
 	snap    atomic.Pointer[map[string]Estimate]
 	seq     atomic.Uint64
 	started atomic.Bool
 	start   time.Time
+	runCtx  context.Context // the Start context; parent of every zone worker
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 }
 
-// New builds an empty service with the given configuration.
+// New builds an empty service with the given configuration. An unknown
+// Config.Detector name panics: it is a programming error on the same
+// level as an invalid literal, and New has no error return for
+// compatibility.
 func New(cfg Config) *Service {
-	s := &Service{cfg: cfg.withDefaults(), zones: make(map[string]*zone)}
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:      cfg,
+		zones:    make(map[string]*zone),
+		watchers: make(map[string]map[chan Estimate]bool),
+	}
+	if _, err := core.NewDetectorByName(cfg.Detector, nil, 1); err != nil {
+		panic(fmt.Sprintf("serve: %v", err))
+	}
+	s.det = func(vacant []float64, thr float64) core.Presence {
+		p, _ := core.NewDetectorByName(cfg.Detector, vacant, thr)
+		return p
+	}
 	empty := make(map[string]Estimate)
 	s.snap.Store(&empty)
 	return s
 }
 
-// AddZone registers a monitored zone backed by sys. All zones must be
-// registered before Start.
-func (s *Service) AddZone(id string, sys *core.System) error {
-	if id == "" {
-		return fmt.Errorf("serve: empty zone id")
-	}
-	if sys == nil {
-		return fmt.Errorf("serve: nil system for zone %q", id)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.started.Load() {
-		return ErrStarted
-	}
-	if _, ok := s.zones[id]; ok {
-		return ErrZoneExists
-	}
+// newZone allocates the shard state for sys under id.
+func (s *Service) newZone(id string, sys *core.System) *zone {
 	m := sys.Layout().M()
 	z := &zone{
 		id:    id,
@@ -209,10 +194,172 @@ func (s *Service) AddZone(id string, sys *core.System) error {
 		z.win[i] = make([]float64, s.cfg.Window)
 		z.vwin[i] = make([]float64, s.cfg.Window)
 	}
+	return z
+}
+
+// startZoneLocked launches z's worker goroutine. Caller holds s.mu and
+// has verified the service is started.
+func (s *Service) startZoneLocked(z *zone) {
+	zctx, cancel := context.WithCancel(s.runCtx)
+	z.cancel = cancel
+	z.done = make(chan struct{})
+	s.wg.Add(1)
+	go s.runZone(zctx, z)
+}
+
+// AddZone registers a monitored zone backed by sys. It may be called
+// before Start (the worker launches with the service) or while the
+// service is running (the worker launches immediately). A stopped
+// service rejects new zones — their workers could never run.
+func (s *Service) AddZone(id string, sys *core.System) error {
+	if id == "" {
+		return taflocerr.Errorf(taflocerr.CodeBadRequest, "serve: empty zone id")
+	}
+	if sys == nil {
+		return taflocerr.Errorf(taflocerr.CodeBadRequest, "serve: nil system for zone %q", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.stoppedLocked(); err != nil {
+		return err
+	}
+	if _, ok := s.zones[id]; ok {
+		return ErrZoneExists
+	}
+	z := s.newZone(id, sys)
 	s.zones[id] = z
 	s.order = append(s.order, id)
 	sort.Strings(s.order)
+	if s.started.Load() {
+		s.startZoneLocked(z)
+	}
 	return nil
+}
+
+// RemoveZone unregisters a zone at runtime: new reports are rejected
+// with ErrUnknownZone, the zone's worker is drained and stopped, the
+// zone's entry leaves the position snapshot, and every watcher receives
+// a terminal Final estimate before its channel closes. Reports still
+// queued when the worker stops are dropped. The id may be re-added
+// afterwards.
+func (s *Service) RemoveZone(id string) error {
+	s.mu.Lock()
+	z, ok := s.zones[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownZone
+	}
+	delete(s.zones, id)
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+
+	// Stop the worker outside the lock: it may be publishing (which takes
+	// the lock) at this moment.
+	if z.cancel != nil {
+		z.cancel()
+		<-z.done
+	}
+
+	s.mu.Lock()
+	old := *s.snap.Load()
+	if _, ok := old[id]; ok {
+		next := make(map[string]Estimate, len(old))
+		for k, v := range old {
+			if k != id {
+				next[k] = v
+			}
+		}
+		s.snap.Store(&next)
+	}
+	term := Estimate{
+		Zone:  id,
+		Seq:   s.seq.Add(1),
+		Cell:  -1,
+		Final: true,
+		Time:  time.Now(),
+	}
+	for ch := range s.watchers[id] {
+		sendOrDropOldest(ch, term)
+		close(ch)
+	}
+	delete(s.watchers, id)
+	s.mu.Unlock()
+	return nil
+}
+
+// UpdateZone swaps the core.System behind a zone: the old worker is
+// stopped (report batches still queued at that moment are dropped, as
+// on RemoveZone), the shard state is rebuilt for the new system (window
+// lengths follow the new deployment's link count), the ingest counters
+// carry over, and a fresh worker starts. Watch subscriptions and the
+// published snapshot entry survive the swap. For an in-place
+// fingerprint refresh that keeps the same System, use System(id) and
+// call UpdateContext on it instead — that path never stops the worker.
+func (s *Service) UpdateZone(id string, sys *core.System) error {
+	if sys == nil {
+		return taflocerr.Errorf(taflocerr.CodeBadRequest, "serve: nil system for zone %q", id)
+	}
+	s.mu.Lock()
+	if err := s.stoppedLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	z, ok := s.zones[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownZone
+	}
+	// No worker yet means the service has not started (a started service
+	// always starts a worker for every registered zone under this same
+	// lock), so the swap is race-free right here.
+	if z.cancel == nil {
+		s.swapZoneLocked(z, sys)
+		s.mu.Unlock()
+		return nil
+	}
+	cancel, done := z.cancel, z.done
+	s.mu.Unlock()
+
+	// Stop the worker outside the lock: it may be publishing (which takes
+	// the lock) at this moment. Start cannot race this — a non-nil cancel
+	// means Start already ran, and it runs at most once.
+	cancel()
+	<-done
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.stoppedLocked(); err != nil {
+		return err
+	}
+	if s.zones[id] != z {
+		// Lost a race with RemoveZone or another UpdateZone; the zone this
+		// call was asked to replace is gone.
+		return ErrUnknownZone
+	}
+	s.swapZoneLocked(z, sys)
+	return nil
+}
+
+// swapZoneLocked replaces z with a fresh zone over sys, carrying the
+// counters (including the worker-owned folded count, safe to read once
+// the worker has exited or never ran). Caller holds s.mu.
+func (s *Service) swapZoneLocked(z *zone, sys *core.System) {
+	nz := s.newZone(z.id, sys)
+	nz.folded = z.folded
+	nz.received.Store(z.received.Load())
+	nz.dropped.Store(z.dropped.Load())
+	nz.batches.Store(z.batches.Load())
+	nz.estimates.Store(z.estimates.Load())
+	nz.matchErrors.Store(z.matchErrors.Load())
+	s.zones[z.id] = nz
+	if s.started.Load() {
+		s.startZoneLocked(nz)
+	}
 }
 
 // Zones returns the registered zone IDs in sorted order.
@@ -245,16 +392,28 @@ func (s *Service) Start(ctx context.Context) error {
 		return ErrStarted
 	}
 	s.cancel = cancel
+	s.runCtx = ctx
 	s.start = time.Now()
 	for _, id := range s.order {
-		z := s.zones[id]
-		s.wg.Add(1)
-		go s.runZone(ctx, z)
+		s.startZoneLocked(s.zones[id])
 	}
 	return nil
 }
 
-// Stop cancels the zone workers. It does not wait; see Wait.
+// stoppedLocked reports whether the service has been started and then
+// stopped (directly or via its Start context); zone mutations on a
+// stopped service would create workers that never run. Caller holds
+// s.mu.
+func (s *Service) stoppedLocked() error {
+	if s.started.Load() && s.runCtx != nil && s.runCtx.Err() != nil {
+		return taflocerr.Errorf(taflocerr.CodeStarted, "serve: service stopped")
+	}
+	return nil
+}
+
+// Stop cancels the zone workers and ends every watch stream (each open
+// channel is closed after a terminal Final estimate, mirroring zone
+// removal). It does not wait for the workers; see Wait.
 func (s *Service) Stop() {
 	s.mu.RLock()
 	cancel := s.cancel
@@ -262,6 +421,16 @@ func (s *Service) Stop() {
 	if cancel != nil {
 		cancel()
 	}
+	s.mu.Lock()
+	for id, set := range s.watchers {
+		term := Estimate{Zone: id, Seq: s.seq.Add(1), Cell: -1, Final: true, Time: time.Now()}
+		for ch := range set {
+			sendOrDropOldest(ch, term)
+			close(ch)
+		}
+		delete(s.watchers, id)
+	}
+	s.mu.Unlock()
 }
 
 // Wait blocks until all zone workers have exited.
@@ -280,9 +449,11 @@ func (s *Service) Uptime() time.Duration {
 // Report enqueues a batch of reports for a zone. On a nil return the
 // service has taken ownership of the slice and the caller must not reuse
 // it; on any error (including ErrQueueFull) the service retains nothing
-// and the caller may retry with the same slice. When the zone's queue is
-// full the batch is shed and ErrQueueFull returned — ingestion never
-// blocks the caller.
+// and the caller may retry with the same slice. A report addressing a
+// link outside the zone's deployment rejects the whole batch with an
+// error matching both ErrBadReport and taflocerr.ErrBadLink. When the
+// zone's queue is full the batch is shed and ErrQueueFull returned —
+// ingestion never blocks the caller.
 func (s *Service) Report(id string, reports []Report) error {
 	s.mu.RLock()
 	z, ok := s.zones[id]
@@ -330,6 +501,48 @@ func (s *Service) Positions() map[string]Estimate {
 	return out
 }
 
+// Watch subscribes to a zone's estimate stream. The returned channel
+// receives the zone's current estimate immediately (if one is
+// published), then every estimate the zone publishes. A watcher that
+// falls more than Config.WatchBuffer events behind misses the oldest
+// ones — the stream favours freshness over completeness. When the zone
+// is removed, the channel receives a terminal estimate with Final set
+// and is closed. The returned stop function detaches the subscription;
+// it is idempotent and must be called when the caller is done.
+func (s *Service) Watch(id string) (<-chan Estimate, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.stoppedLocked(); err != nil {
+		// A stopped service has no publishers left; a subscription would
+		// block its consumer forever.
+		return nil, nil, err
+	}
+	if _, ok := s.zones[id]; !ok {
+		return nil, nil, ErrUnknownZone
+	}
+	ch := make(chan Estimate, s.cfg.WatchBuffer)
+	set := s.watchers[id]
+	if set == nil {
+		set = make(map[chan Estimate]bool)
+		s.watchers[id] = set
+	}
+	set[ch] = true
+	if e, ok := (*s.snap.Load())[id]; ok {
+		ch <- e // buffer is empty here, cannot block
+	}
+	stop := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if set, ok := s.watchers[id]; ok && set[ch] {
+			delete(set, ch)
+			if len(set) == 0 {
+				delete(s.watchers, id)
+			}
+		}
+	}
+	return ch, stop, nil
+}
+
 // Stats returns per-zone counters.
 func (s *Service) Stats() map[string]ZoneStats {
 	s.mu.RLock()
@@ -353,6 +566,7 @@ func (s *Service) Stats() map[string]ZoneStats {
 // windows, then answer one batched match query.
 func (s *Service) runZone(ctx context.Context, z *zone) {
 	defer s.wg.Done()
+	defer close(z.done)
 	for {
 		select {
 		case <-ctx.Done():
@@ -438,14 +652,15 @@ func (s *Service) localize(z *zone) {
 	z.estimates.Add(1)
 }
 
-// detect gates localization on target presence. When every link has
-// received vacant-flagged samples, the mean of those windows is a
-// fresher baseline than the system's last vacant capture and is used
-// instead, so detection tracks drift between fingerprint updates.
+// detect gates localization on target presence through the configured
+// detector. When every link has received vacant-flagged samples, the
+// mean of those windows is a fresher baseline than the system's last
+// vacant capture and is used instead, so detection tracks drift between
+// fingerprint updates.
 func (s *Service) detect(z *zone, y []float64) (bool, float64) {
 	for i := range z.vfill {
 		if z.vfill[i] == 0 {
-			return z.sys.Detect(y, s.cfg.DetectThresholdDB)
+			return s.det(z.sys.Vacant(), s.cfg.DetectThresholdDB).Present(y)
 		}
 	}
 	vac := make([]float64, len(z.vwin))
@@ -456,12 +671,13 @@ func (s *Service) detect(z *zone, y []float64) (bool, float64) {
 		}
 		vac[i] = sum / float64(z.vfill[i])
 	}
-	return core.Detector{Vacant: vac, ThresholdDB: s.cfg.DetectThresholdDB}.Present(y)
+	return s.det(vac, s.cfg.DetectThresholdDB).Present(y)
 }
 
-// publish installs an estimate into the read-mostly snapshot. Writers
-// (the zone workers) serialize on the service mutex and swap in a fresh
-// copy; readers keep loading the old snapshot untouched.
+// publish installs an estimate into the read-mostly snapshot and fans it
+// out to the zone's watchers. Writers (the zone workers) serialize on
+// the service mutex and swap in a fresh copy; readers keep loading the
+// old snapshot untouched.
 func (s *Service) publish(e Estimate) {
 	e.Time = time.Now()
 	s.mu.Lock()
@@ -473,5 +689,29 @@ func (s *Service) publish(e Estimate) {
 	}
 	next[e.Zone] = e
 	s.snap.Store(&next)
+	for ch := range s.watchers[e.Zone] {
+		sendOrDropOldest(ch, e)
+	}
 	s.mu.Unlock()
+}
+
+// sendOrDropOldest delivers e to a watcher channel without ever blocking
+// the publishing worker: when the buffer is full, the oldest pending
+// event is discarded to make room. Senders are serialized under s.mu, so
+// the drain/retry pair cannot race another sender; a concurrent receiver
+// can only make room, in which case the retry succeeds.
+func sendOrDropOldest(ch chan Estimate, e Estimate) {
+	select {
+	case ch <- e:
+		return
+	default:
+	}
+	select {
+	case <-ch:
+	default:
+	}
+	select {
+	case ch <- e:
+	default:
+	}
 }

@@ -426,8 +426,12 @@ func TestAddZoneRules(t *testing.T) {
 	if err := svc.Start(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.AddZone("late", sys); err != ErrStarted {
+	// Runtime lifecycle: zones can now join a started service.
+	if err := svc.AddZone("late", sys); err != nil {
 		t.Errorf("post-start AddZone: got %v", err)
+	}
+	if err := svc.Report("late", []Report{{Link: 0, RSS: -40}}); err != nil {
+		t.Errorf("report to late-added zone: %v", err)
 	}
 	if err := svc.Start(ctx); err != ErrStarted {
 		t.Errorf("double start: got %v", err)

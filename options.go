@@ -1,0 +1,188 @@
+package tafloc
+
+import (
+	"tafloc/internal/api"
+	"tafloc/internal/core"
+	"tafloc/internal/mat"
+	"tafloc/internal/serve"
+)
+
+// Option configures a System built by Open or OpenDeployment. Options
+// compose left to right; later options win on conflict.
+type Option func(*openConfig)
+
+type openConfig struct {
+	sys     core.SystemOptions
+	workers int
+	setW    bool
+}
+
+// WithMatcher selects the localization matcher by registry name —
+// "nn", "knn", "bayes", or "wknn" (the mask-aware default), plus any
+// name installed with RegisterMatcher. Unknown names fail Open.
+func WithMatcher(name string) Option {
+	return func(c *openConfig) { c.sys.MatcherName = name; c.sys.Matcher = nil }
+}
+
+// WithMatcherImpl injects a concrete Matcher implementation, bypassing
+// the registry.
+func WithMatcherImpl(m Matcher) Option {
+	return func(c *openConfig) { c.sys.Matcher = m; c.sys.MatcherName = "" }
+}
+
+// WithLoLi overrides the LoLi-IR reconstruction hyperparameters.
+func WithLoLi(o LoLiOptions) Option {
+	return func(c *openConfig) { c.sys.LoLi = o }
+}
+
+// WithReferences overrides reference-location selection.
+func WithReferences(o ReferenceOptions) Option {
+	return func(c *openConfig) { c.sys.Refs = o }
+}
+
+// WithRecSigma sets the assumed error std (dB) of reconstructed entries
+// for the built-in weighted matcher.
+func WithRecSigma(db float64) Option {
+	return func(c *openConfig) { c.sys.RecSigmaDB = db }
+}
+
+// WithMaskThreshold sets the |survey - vacant| deviation (dB) above
+// which an entry counts as distorted when the mask is learned from the
+// day-0 survey; negative forces the geometric ellipse mask.
+func WithMaskThreshold(db float64) Option {
+	return func(c *openConfig) { c.sys.MaskThresholdDB = db }
+}
+
+// WithWorkers sets the global parallel worker count used by the
+// reconstruction and matching kernels (the same knob as SetWorkers);
+// n <= 0 restores the GOMAXPROCS-aware default.
+func WithWorkers(n int) Option {
+	return func(c *openConfig) { c.workers = n; c.setW = true }
+}
+
+// Open builds a System from a day-0 full survey with functional
+// options — the v2 replacement for NewSystem:
+//
+//	sys, err := tafloc.Open(layout, survey, vacant,
+//	    tafloc.WithMatcher("wknn"),
+//	    tafloc.WithLoLi(loli),
+//	    tafloc.WithWorkers(8))
+func Open(layout *Layout, survey *Matrix, vacant []float64, opts ...Option) (*System, error) {
+	c := openConfig{sys: core.DefaultSystemOptions()}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.setW {
+		mat.SetWorkers(c.workers)
+	}
+	return core.NewSystem(layout, survey, vacant, c.sys)
+}
+
+// OpenDeployment surveys dep at day 0 and builds a System with the
+// given options — the one-call quickstart path (v2 replacement for
+// BuildSystem).
+func OpenDeployment(dep *Deployment, opts ...Option) (*System, error) {
+	layout, err := core.NewLayout(dep.Channel.Links(), dep.Grid, dep.Config.RF.MaskExcessM())
+	if err != nil {
+		return nil, err
+	}
+	survey, _ := dep.Survey(0)
+	vacant := dep.VacantCapture(0, 100)
+	return Open(layout, survey, vacant, opts...)
+}
+
+// ServiceOption configures a Service built by NewService.
+type ServiceOption func(*serve.Config)
+
+// WithZoneQueue sets the per-zone bounded ingest queue depth (pending
+// batches before Report sheds load).
+func WithZoneQueue(depth int) ServiceOption {
+	return func(c *serve.Config) { c.QueueDepth = depth }
+}
+
+// WithBatch sets the maximum reports a zone worker folds per batched
+// match query.
+func WithBatch(size int) ServiceOption {
+	return func(c *serve.Config) { c.BatchSize = size }
+}
+
+// WithWindow sets the per-link live-window length.
+func WithWindow(n int) ServiceOption {
+	return func(c *serve.Config) { c.Window = n }
+}
+
+// WithDetectThreshold sets the presence-detection threshold in dB.
+func WithDetectThreshold(db float64) ServiceOption {
+	return func(c *serve.Config) { c.DetectThresholdDB = db }
+}
+
+// WithDetector selects the presence detector by registry name — "mad",
+// "rms", "maxlink", or any name installed with RegisterDetector.
+// NewService panics on an unknown name (it has no error return; the
+// name set is fixed at startup, so this is a programming error).
+func WithDetector(name string) ServiceOption {
+	return func(c *serve.Config) { c.Detector = name }
+}
+
+// WithWatchBuffer sets the per-watcher event buffer length.
+func WithWatchBuffer(n int) ServiceOption {
+	return func(c *serve.Config) { c.WatchBuffer = n }
+}
+
+// WithZoneFactory enables zone creation over the /v2 HTTP surface
+// (POST /v2/zones/{id}): the factory receives the requested id and
+// ZoneSpec and returns the backing System.
+func WithZoneFactory(f ZoneFactory) ServiceOption {
+	return func(c *serve.Config) { c.ZoneFactory = f }
+}
+
+// NewService builds an empty multi-zone service with functional
+// options; register zones with Service.AddZone (before or after Start):
+//
+//	svc := tafloc.NewService(
+//	    tafloc.WithZoneQueue(512),
+//	    tafloc.WithDetector("rms"),
+//	    tafloc.WithZoneFactory(factory))
+func NewService(opts ...ServiceOption) *Service {
+	var cfg serve.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return serve.New(cfg)
+}
+
+// Registry surface: strategy injection by name.
+
+// MatcherFactory builds a Matcher for the registry.
+type MatcherFactory = core.MatcherFactory
+
+// DetectorFactory builds a presence detector for the registry.
+type DetectorFactory = core.DetectorFactory
+
+// Presence is the detection-gate interface.
+type Presence = core.Presence
+
+// RegisterMatcher installs a named matcher strategy, selectable via
+// WithMatcher and the -matcher flags of the commands.
+func RegisterMatcher(name string, f MatcherFactory) error { return core.RegisterMatcher(name, f) }
+
+// RegisterDetector installs a named presence-detection strategy,
+// selectable via WithDetector.
+func RegisterDetector(name string, f DetectorFactory) error { return core.RegisterDetector(name, f) }
+
+// MatcherNames lists the registered matcher names, sorted.
+func MatcherNames() []string { return core.MatcherNames() }
+
+// DetectorNames lists the registered detector names, sorted.
+func DetectorNames() []string { return core.DetectorNames() }
+
+// NewMatcherByName builds a matcher from the registry.
+func NewMatcherByName(name string) (Matcher, error) { return core.NewMatcherByName(name) }
+
+// Wire and lifecycle types of the v2 service surface.
+type (
+	// ZoneFactory builds a System for a zone created over the wire.
+	ZoneFactory = serve.ZoneFactory
+	// ZoneSpec parameterizes server-side zone creation.
+	ZoneSpec = api.ZoneSpec
+)

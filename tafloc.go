@@ -20,18 +20,35 @@
 //     Fig1, Fig3, Fig4, Fig5, DriftTable, CostTable, Ablation.
 //   - The measurement-collection network pipeline: Collector, Fleet,
 //     Orchestrator, RSSReport.
+//   - The multi-zone serving layer (Service) with runtime zone
+//     lifecycle, a versioned HTTP surface, and streaming position
+//     watch; package client is the typed SDK for it and package
+//     taflocerr the shared error taxonomy.
 //
-// Quickstart:
+// Quickstart (v2 API — functional options everywhere):
 //
 //	dep, _ := tafloc.NewDeployment(tafloc.PaperConfig())
-//	sys, _ := tafloc.BuildSystem(dep)               // day-0 full survey
+//	sys, _ := tafloc.OpenDeployment(dep,            // day-0 full survey
+//	    tafloc.WithMatcher("wknn"))
 //	// ... months pass, RSS drifts ...
 //	refCols, _ := dep.SurveyCells(sys.References(), 90)
-//	sys.Update(refCols, dep.VacantCapture(90, 100)) // 10-minute refresh
+//	sys.UpdateContext(ctx, refCols, dep.VacantCapture(90, 100))
 //	loc, _ := sys.Locate(dep.Channel.MeasureLive(p, 90))
 //
-// See the examples directory for runnable programs and EXPERIMENTS.md for
-// the paper-vs-measured record.
+// Serving and consuming zones over HTTP:
+//
+//	svc := tafloc.NewService(tafloc.WithDetectThreshold(0.25))
+//	svc.AddZone("lobby", sys)
+//	svc.Start(ctx)
+//	go http.ListenAndServe(":8750", svc.Handler())
+//	...
+//	cli, _ := client.Dial(ctx, "http://localhost:8750")
+//	ch, _ := cli.Watch(ctx, "lobby")
+//	for est := range ch { ... }
+//
+// See the examples directory for runnable programs, docs/API.md for the
+// HTTP protocol and error taxonomy, and EXPERIMENTS.md for the
+// paper-vs-measured record.
 package tafloc
 
 import (
@@ -157,6 +174,9 @@ func NewLayout(links []Segment, grid *Grid, ellipseExcess float64) (*Layout, err
 }
 
 // NewSystem builds a System from a day-0 full survey.
+//
+// Deprecated: use Open, which takes functional options instead of a
+// positional options struct.
 func NewSystem(layout *Layout, survey *Matrix, vacant []float64, opts SystemOptions) (*System, error) {
 	return core.NewSystem(layout, survey, vacant, opts)
 }
@@ -186,14 +206,11 @@ func MaskFromSurvey(survey *Matrix, vacant []float64, thresholdDB float64) (*Mat
 
 // BuildSystem surveys dep at day 0 and constructs a System with default
 // options — the one-call quickstart path.
+//
+// Deprecated: use OpenDeployment, which additionally accepts functional
+// options.
 func BuildSystem(dep *Deployment) (*System, error) {
-	layout, err := core.NewLayout(dep.Channel.Links(), dep.Grid, dep.Config.RF.MaskExcessM())
-	if err != nil {
-		return nil, err
-	}
-	survey, _ := dep.Survey(0)
-	vacant := dep.VacantCapture(0, 100)
-	return core.NewSystem(layout, survey, vacant, core.DefaultSystemOptions())
+	return OpenDeployment(dep)
 }
 
 // Baselines.
@@ -338,9 +355,12 @@ type (
 	ZoneStats = serve.ZoneStats
 )
 
-// NewService builds an empty multi-zone service; register zones with
-// AddZone and launch with Start.
-func NewService(cfg ServiceConfig) *Service { return serve.New(cfg) }
+// NewServiceFromConfig builds a multi-zone service from a positional
+// configuration struct.
+//
+// Deprecated: use NewService, which takes functional options
+// (WithZoneQueue, WithDetector, WithZoneFactory, ...).
+func NewServiceFromConfig(cfg ServiceConfig) *Service { return serve.New(cfg) }
 
 // ReportFromWire converts a decoded data-plane frame into a service
 // report.

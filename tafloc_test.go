@@ -13,7 +13,7 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := tafloc.BuildSystem(dep)
+	sys, err := tafloc.OpenDeployment(dep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,5 +123,52 @@ func TestPublicTrackingAndAdaptive(t *testing.T) {
 	}
 	if !est.UpdateRecommended {
 		t.Fatalf("4 dB drift not flagged: %+v", est)
+	}
+}
+
+// TestOpenWithOptions exercises the v2 functional-options builders at
+// the public surface: registry selection by name, failure on unknown
+// names, and the options form of the service constructor.
+func TestOpenWithOptions(t *testing.T) {
+	cfg := tafloc.PaperConfig()
+	cfg.SamplesPerCell = 5
+	dep, err := tafloc.NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := tafloc.OpenDeployment(dep, tafloc.WithMatcher("bayes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tafloc.Point{X: 3.3, Y: 2.1}
+	loc, err := sys.Locate(dep.Channel.MeasureLive(p, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Confidence == 0 {
+		t.Error("bayes matcher selected by option should report a confidence")
+	}
+
+	if _, err := tafloc.OpenDeployment(dep, tafloc.WithMatcher("no-such")); err == nil {
+		t.Error("unknown matcher name accepted by Open")
+	}
+	if _, err := tafloc.NewMatcherByName("knn"); err != nil {
+		t.Errorf("registry re-export: %v", err)
+	}
+	if len(tafloc.MatcherNames()) < 4 || len(tafloc.DetectorNames()) < 3 {
+		t.Errorf("registry names: %v / %v", tafloc.MatcherNames(), tafloc.DetectorNames())
+	}
+
+	svc := tafloc.NewService(
+		tafloc.WithZoneQueue(8),
+		tafloc.WithWindow(4),
+		tafloc.WithDetector("rms"),
+		tafloc.WithDetectThreshold(0.25),
+	)
+	if err := svc.AddZone("z", sys); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Zones(); len(got) != 1 || got[0] != "z" {
+		t.Errorf("zones: %v", got)
 	}
 }

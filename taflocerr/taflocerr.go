@@ -1,0 +1,183 @@
+// Package taflocerr is the shared error taxonomy of the TafLoc service
+// surface. Every error that crosses a package or process boundary —
+// service methods, HTTP handlers, and the client SDK — carries one of
+// the stable Codes below, so callers branch on errors.Is against the
+// exported sentinels instead of matching message strings, and the same
+// code travels unchanged over the wire.
+//
+// The taxonomy is transport-independent: internal/serve attaches codes
+// to its method errors, the /v2 HTTP handlers serialize them into the
+// response body, and package client decodes them back into the same
+// sentinels. A caller therefore writes
+//
+//	if errors.Is(err, taflocerr.ErrUnknownZone) { ... }
+//
+// and the branch works identically against an in-process Service and a
+// remote one reached through client.Dial.
+package taflocerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code is a stable, machine-readable error category. Codes are part of
+// the v2 wire protocol: they appear verbatim in the "code" field of
+// error response bodies and must never be renamed.
+type Code string
+
+// The taxonomy. One code per caller-distinguishable failure class.
+const (
+	// CodeUnknownZone: the addressed zone is not registered.
+	CodeUnknownZone Code = "unknown_zone"
+	// CodeZoneExists: AddZone for an id that is already registered.
+	CodeZoneExists Code = "zone_exists"
+	// CodeQueueFull: the zone's bounded ingest queue shed the batch.
+	CodeQueueFull Code = "queue_full"
+	// CodeBadLink: a report addressed a link index outside the zone's
+	// deployment.
+	CodeBadLink Code = "bad_link"
+	// CodeBadRequest: malformed input (bad JSON, invalid parameters).
+	CodeBadRequest Code = "bad_request"
+	// CodeMethodNotAllowed: wrong HTTP method for the route.
+	CodeMethodNotAllowed Code = "method_not_allowed"
+	// CodeNotReady: the zone exists but has not published an estimate yet.
+	CodeNotReady Code = "not_ready"
+	// CodeZoneRemoved: the zone was removed while the caller watched it.
+	CodeZoneRemoved Code = "zone_removed"
+	// CodeStarted: an operation that requires a stopped service ran on a
+	// started one (or Start ran twice).
+	CodeStarted Code = "already_started"
+	// CodeUnsupported: the server cannot perform the operation (for
+	// example AddZone over HTTP without a configured zone factory).
+	CodeUnsupported Code = "unsupported"
+	// CodeCancelled: the operation's context was cancelled mid-flight.
+	CodeCancelled Code = "cancelled"
+	// CodeInternal: unclassified server-side failure.
+	CodeInternal Code = "internal"
+)
+
+// Error is a taxonomy error: a Code plus a human-readable message.
+// Two Errors match under errors.Is when their Codes are equal, so any
+// *Error can be compared against the canonical sentinels regardless of
+// where its message was composed.
+type Error struct {
+	// Code is the stable category.
+	Code Code
+	// Message is the human-readable description.
+	Message string
+	// Err is an optional wrapped cause.
+	Err error
+}
+
+// New builds a taxonomy error with a fixed message.
+func New(code Code, message string) *Error {
+	return &Error{Code: code, Message: message}
+}
+
+// Errorf builds a taxonomy error with a formatted message. %w verbs
+// (one or several) wrap their operands as causes.
+func Errorf(code Code, format string, args ...any) *Error {
+	err := fmt.Errorf(format, args...)
+	e := &Error{Code: code, Message: err.Error()}
+	// Keep the fmt wrapper as the cause when it wraps anything, so
+	// errors.Is/As reach every %w operand (including multi-%w, whose
+	// wrapper exposes Unwrap() []error).
+	switch err.(type) {
+	case interface{ Unwrap() error }, interface{ Unwrap() []error }:
+		e.Err = err
+	}
+	return e
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Message }
+
+// Unwrap exposes the cause chain.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches any *Error carrying the same Code, which is what makes
+// errors.Is(err, taflocerr.ErrX) work across process boundaries.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Code == e.Code
+}
+
+// Canonical sentinels, one per Code. FromCode returns these, so client
+// errors decoded from the wire satisfy errors.Is against them.
+var (
+	ErrUnknownZone      = New(CodeUnknownZone, "tafloc: unknown zone")
+	ErrZoneExists       = New(CodeZoneExists, "tafloc: zone already registered")
+	ErrQueueFull        = New(CodeQueueFull, "tafloc: zone queue full")
+	ErrBadLink          = New(CodeBadLink, "tafloc: report link out of range")
+	ErrBadRequest       = New(CodeBadRequest, "tafloc: bad request")
+	ErrMethodNotAllowed = New(CodeMethodNotAllowed, "tafloc: method not allowed")
+	ErrNotReady         = New(CodeNotReady, "tafloc: no estimate published yet")
+	ErrZoneRemoved      = New(CodeZoneRemoved, "tafloc: zone removed")
+	ErrStarted          = New(CodeStarted, "tafloc: service already started")
+	ErrUnsupported      = New(CodeUnsupported, "tafloc: operation not supported")
+	ErrCancelled        = New(CodeCancelled, "tafloc: operation cancelled")
+	ErrInternal         = New(CodeInternal, "tafloc: internal error")
+)
+
+var sentinels = map[Code]*Error{
+	CodeUnknownZone:      ErrUnknownZone,
+	CodeZoneExists:       ErrZoneExists,
+	CodeQueueFull:        ErrQueueFull,
+	CodeBadLink:          ErrBadLink,
+	CodeBadRequest:       ErrBadRequest,
+	CodeMethodNotAllowed: ErrMethodNotAllowed,
+	CodeNotReady:         ErrNotReady,
+	CodeZoneRemoved:      ErrZoneRemoved,
+	CodeStarted:          ErrStarted,
+	CodeUnsupported:      ErrUnsupported,
+	CodeCancelled:        ErrCancelled,
+	CodeInternal:         ErrInternal,
+}
+
+// FromCode returns the canonical sentinel for a wire code, or
+// ErrInternal for an unrecognized one (a newer server speaking a newer
+// taxonomy still yields a typed error rather than a nil or a panic).
+func FromCode(code Code) *Error {
+	if s, ok := sentinels[code]; ok {
+		return s
+	}
+	return ErrInternal
+}
+
+// CodeOf extracts the Code of the first *Error in err's chain
+// (including branches joined with errors.Join or multi-%w wrapping),
+// or CodeInternal when the chain carries none.
+func CodeOf(err error) Code {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return CodeInternal
+}
+
+// HTTPStatus maps a Code to the status the /v2 handlers respond with.
+func HTTPStatus(code Code) int {
+	switch code {
+	case CodeUnknownZone, CodeNotReady:
+		return 404
+	case CodeZoneExists:
+		return 409
+	case CodeQueueFull:
+		return 429
+	case CodeBadLink:
+		return 422
+	case CodeBadRequest:
+		return 400
+	case CodeMethodNotAllowed:
+		return 405
+	case CodeStarted:
+		return 409
+	case CodeUnsupported:
+		return 501
+	case CodeCancelled:
+		return 499 // client closed request (nginx convention)
+	default:
+		return 500
+	}
+}

@@ -1,0 +1,93 @@
+package taflocerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestIsMatchesByCode(t *testing.T) {
+	legacy := New(CodeUnknownZone, "serve: unknown zone") // different message, same code
+	if !errors.Is(legacy, ErrUnknownZone) {
+		t.Error("same-code errors should match under errors.Is")
+	}
+	if errors.Is(legacy, ErrQueueFull) {
+		t.Error("different-code errors must not match")
+	}
+	wrapped := fmt.Errorf("handler: %w", legacy)
+	if !errors.Is(wrapped, ErrUnknownZone) {
+		t.Error("wrapping must preserve the match")
+	}
+}
+
+func TestErrorfWrapsCause(t *testing.T) {
+	cause := errors.New("boom")
+	err := Errorf(CodeInternal, "update failed: %w", cause)
+	if !errors.Is(err, cause) {
+		t.Error("Errorf %%w operand not in the chain")
+	}
+	if !errors.Is(err, ErrInternal) {
+		t.Error("Errorf result should match its code sentinel")
+	}
+	if err.Error() != "update failed: boom" {
+		t.Errorf("message = %q", err.Error())
+	}
+}
+
+func TestMultiWrapAndJoin(t *testing.T) {
+	e1, e2 := errors.New("first"), errors.New("second")
+	err := Errorf(CodeBadRequest, "both: %w and %w", e1, e2)
+	if !errors.Is(err, e1) || !errors.Is(err, e2) {
+		t.Error("multi-%w operands not reachable through the chain")
+	}
+	if got := CodeOf(err); got != CodeBadRequest {
+		t.Errorf("CodeOf multi-wrap = %s", got)
+	}
+	joined := errors.Join(errors.New("plain"), ErrQueueFull)
+	if got := CodeOf(fmt.Errorf("outer: %w", joined)); got != CodeQueueFull {
+		t.Errorf("CodeOf through errors.Join = %s, want %s", got, CodeQueueFull)
+	}
+}
+
+func TestFromCodeRoundTrip(t *testing.T) {
+	for code, want := range sentinels {
+		if got := FromCode(code); got != want {
+			t.Errorf("FromCode(%s) = %v, want %v", code, got, want)
+		}
+		if got := CodeOf(want); got != code {
+			t.Errorf("CodeOf(%v) = %s, want %s", want, got, code)
+		}
+	}
+	if FromCode("no_such_code") != ErrInternal {
+		t.Error("unknown code should map to ErrInternal")
+	}
+}
+
+func TestCodeOfWalksChain(t *testing.T) {
+	err := fmt.Errorf("outer: %w", fmt.Errorf("mid: %w", ErrBadLink))
+	if got := CodeOf(err); got != CodeBadLink {
+		t.Errorf("CodeOf = %s, want %s", got, CodeBadLink)
+	}
+	if got := CodeOf(errors.New("untyped")); got != CodeInternal {
+		t.Errorf("untyped error CodeOf = %s, want internal", got)
+	}
+}
+
+func TestHTTPStatus(t *testing.T) {
+	cases := map[Code]int{
+		CodeUnknownZone:      404,
+		CodeNotReady:         404,
+		CodeZoneExists:       409,
+		CodeQueueFull:        429,
+		CodeBadLink:          422,
+		CodeBadRequest:       400,
+		CodeMethodNotAllowed: 405,
+		CodeUnsupported:      501,
+		CodeInternal:         500,
+	}
+	for code, want := range cases {
+		if got := HTTPStatus(code); got != want {
+			t.Errorf("HTTPStatus(%s) = %d, want %d", code, got, want)
+		}
+	}
+}
