@@ -250,6 +250,62 @@ func BenchmarkParallelReconstruct(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotRestore pins the point of the persistence layer: a
+// warm start from a snapshot versus recalibrating the deployment from
+// scratch. The "recalibrate" sub-benchmark pays the full day-0 pipeline
+// (survey, mask learning, reference selection, system construction); the
+// "restore" sub-benchmark decodes the versioned snapshot and rebuilds an
+// identical serving zone from it. The ratio of their ns/op is how much
+// faster a deploy or crash recovery gets with -state-dir.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	dep, err := tafloc.NewDeployment(tafloc.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	buildZone := func() *tafloc.System {
+		sys, err := tafloc.OpenDeployment(dep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys
+	}
+	seed, err := tafloc.NewService()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.AddZone("z", buildZone()); err != nil {
+		b.Fatal(err)
+	}
+	snapshot, err := seed.SnapshotZone("z")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("recalibrate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc, err := tafloc.NewService()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := svc.AddZone("z", buildZone()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("restore", func(b *testing.B) {
+		b.SetBytes(int64(len(snapshot)))
+		for i := 0; i < b.N; i++ {
+			svc, err := tafloc.NewService()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := svc.RestoreZone(snapshot); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkServeThroughput measures sustainable end-to-end ingest of the
 // multi-zone service: four zones, parallel producers, bounded queues
 // providing backpressure, one batched match query per processing round.
@@ -261,11 +317,14 @@ func BenchmarkServeThroughput(b *testing.B) {
 	cfg.RoomW, cfg.RoomH = 3.6, 2.4
 	cfg.Links = 6
 	cfg.SamplesPerCell = 5
-	svc := tafloc.NewService(
+	svc, err := tafloc.NewService(
 		tafloc.WithWindow(4),
 		tafloc.WithDetectThreshold(0.25),
 		tafloc.WithZoneQueue(4096),
 	)
+	if err != nil {
+		b.Fatal(err)
+	}
 	ids := make([]string, zones)
 	batches := make([][][]tafloc.ZoneReport, zones)
 	for z := 0; z < zones; z++ {

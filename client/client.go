@@ -149,6 +149,55 @@ func (c *Client) RemoveZone(ctx context.Context, zone string) error {
 	return c.do(ctx, http.MethodDelete, "/v2/zones/"+url.PathEscape(zone), nil, nil)
 }
 
+// Snapshot exports a zone's calibrated deployment as an opaque,
+// CRC-checked binary snapshot (the internal/snap format). The bytes can
+// be persisted and later fed to RestoreZone — on the same server or
+// another one — to warm-start the zone without recalibration. Servers
+// without a ZoneFactory have not opted into remote zone administration
+// and fail with taflocerr.ErrUnsupported.
+func (c *Client) Snapshot(ctx context.Context, zone string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v2/zones/"+url.PathEscape(zone)+"/snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: snapshot %s: %w", zone, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// RestoreZone warm-starts a zone server-side from a snapshot previously
+// exported with Snapshot. The snapshot's zone ID must match zone.
+// Corrupt or truncated snapshots fail with
+// taflocerr.ErrSnapshotCorrupt (or ErrSnapshotVersion for a snapshot
+// from an incompatible build); an existing id with
+// taflocerr.ErrZoneExists.
+func (c *Client) RestoreZone(ctx context.Context, zone string, snapshot []byte) (ZoneInfo, error) {
+	var zi ZoneInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		c.base+"/v2/zones/"+url.PathEscape(zone)+"/snapshot", bytes.NewReader(snapshot))
+	if err != nil {
+		return zi, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return zi, fmt.Errorf("client: restore %s: %w", zone, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return zi, decodeError(resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&zi)
+	return zi, err
+}
+
 // Watch subscribes to a zone's estimate stream over server-sent events.
 // The returned channel yields every estimate the server publishes
 // (starting with the current one, if any) until ctx is cancelled, the
@@ -181,6 +230,9 @@ func (c *Client) Watch(ctx context.Context, zone string) (<-chan Estimate, error
 		for sc.Scan() {
 			line := sc.Text()
 			switch {
+			case strings.HasPrefix(line, ":"):
+				// SSE comment — the server's idle heartbeat. Not an event;
+				// never surfaces on the channel.
 			case strings.HasPrefix(line, "data: "):
 				data = strings.TrimPrefix(line, "data: ")
 			case line == "" && data != "":

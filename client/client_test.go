@@ -250,6 +250,133 @@ func TestTypedErrors(t *testing.T) {
 	}
 }
 
+// TestSnapshotRoundTrip exports a zone over the SDK, removes it, and
+// warm-restores it from the same bytes — the client-side deployment
+// migration path.
+func TestSnapshotRoundTrip(t *testing.T) {
+	f, _ := newFixture(t)
+	ctx := context.Background()
+
+	data, err := f.cli.Snapshot(ctx, "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	if _, err := f.cli.Snapshot(ctx, "nope"); !errors.Is(err, taflocerr.ErrUnknownZone) {
+		t.Errorf("snapshot of unknown zone: %v", err)
+	}
+
+	// Restoring over a live zone conflicts; after removal it succeeds.
+	if _, err := f.cli.RestoreZone(ctx, "z", data); !errors.Is(err, taflocerr.ErrZoneExists) {
+		t.Errorf("restore over live zone: %v", err)
+	}
+	if err := f.cli.RemoveZone(ctx, "z"); err != nil {
+		t.Fatal(err)
+	}
+	zi, err := f.cli.RestoreZone(ctx, "z", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zi.Zone != "z" || zi.Links == 0 || zi.Cells == 0 {
+		t.Errorf("restore info: %+v", zi)
+	}
+
+	// The restored zone serves: feed reports, read a position.
+	target := geom.Point{X: 1.5, Y: 1.2}
+	for i := 0; i < 10; i++ {
+		if _, err := f.cli.Report(ctx, "z", batch(f.dep, target)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := f.cli.Position(ctx, "z"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restored zone never published")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Damaged snapshots come back as the typed sentinels.
+	if _, err := f.cli.RestoreZone(ctx, "z2", data[:len(data)/2]); !errors.Is(err, taflocerr.ErrSnapshotCorrupt) {
+		t.Errorf("truncated restore: %v", err)
+	}
+	if _, err := f.cli.RestoreZone(ctx, "z2", []byte("junk")); !errors.Is(err, taflocerr.ErrSnapshotCorrupt) {
+		t.Errorf("junk restore: %v", err)
+	}
+}
+
+// TestWatchSkipsHeartbeats points Watch at a zone that publishes
+// nothing while the server emits rapid heartbeat comments: the channel
+// must stay open and deliver no spurious estimates, then deliver the
+// real estimate once the zone finally publishes.
+func TestWatchSkipsHeartbeats(t *testing.T) {
+	cfg := testbed.PaperConfig()
+	cfg.RoomW, cfg.RoomH = 3.6, 2.4
+	cfg.Links = 6
+	cfg.SamplesPerCell = 5
+	dep, err := testbed.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := serve.New(serve.Config{
+		Window:            2,
+		DetectThresholdDB: 0.25,
+		WatchHeartbeat:    10 * time.Millisecond,
+	})
+	if err := svc.AddZone("slow", newTestSystem(t, dep)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := svc.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	cli, err := Dial(ctx, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The watch gets its own context, cancelled (LIFO) before srv.Close —
+	// otherwise Close blocks on the still-open SSE connection.
+	watchCtx, cancelWatch := context.WithCancel(ctx)
+	defer cancelWatch()
+	ch, err := cli.Watch(watchCtx, "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~20 heartbeats pass; none may surface as an estimate.
+	select {
+	case e, open := <-ch:
+		t.Fatalf("idle watch produced an event: %+v (open=%v)", e, open)
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	target := geom.Point{X: 1.2, Y: 0.9}
+	for i := 0; i < 10; i++ {
+		if _, err := cli.Report(ctx, "slow", batch(dep, target)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case e, open := <-ch:
+		if !open {
+			t.Fatal("watch closed instead of delivering the estimate")
+		}
+		if e.Zone != "slow" {
+			t.Errorf("estimate zone %q", e.Zone)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("estimate never arrived through the heartbeat stream")
+	}
+}
+
 // TestDialValidation covers the constructor error paths.
 func TestDialValidation(t *testing.T) {
 	if _, err := New("not a url"); err == nil {

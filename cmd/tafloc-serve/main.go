@@ -16,6 +16,15 @@
 //	GET    /v2/zones/{id}/watch         stream estimates over SSE
 //	GET    /v1/healthz, /v2/healthz     liveness and per-zone counters
 //
+// With -state-dir the service is stateful across restarts: every zone's
+// calibrated deployment (layout, mask, radio map, vacant baseline,
+// reference cells, serve config) is checkpointed to versioned,
+// CRC-checked snapshot files — periodically (-checkpoint) and once more
+// on SIGINT/SIGTERM — and the next boot warm-starts every snapshot it
+// finds instead of recalibrating, so a deploy or crash costs seconds of
+// blindness, not minutes. See docs/PERSISTENCE.md for the format and
+// semantics.
+//
 // Usage:
 //
 //	tafloc-serve                          # 4 zones on :8750, simulated traffic
@@ -23,6 +32,8 @@
 //	tafloc-serve -matcher bayes           # probabilistic matcher for new zones
 //	tafloc-serve -sim=false               # serve only; feed reports yourself
 //	tafloc-serve -interval 20ms           # faster simulated reporting
+//	tafloc-serve -state-dir /var/lib/tafloc   # checkpoint + warm restart
+//	tafloc-serve -state-dir ./state -checkpoint 10s
 package main
 
 import (
@@ -37,6 +48,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"tafloc"
@@ -126,13 +138,14 @@ func main() {
 	detector := flag.String("detector", "mad",
 		fmt.Sprintf("presence detector %v", tafloc.DetectorNames()))
 	sim := flag.Bool("sim", true, "drive simulated targets through every zone via the client SDK")
+	stateDir := flag.String("state-dir", "", "directory for deployment snapshots: checkpoint zones there and warm-restore them on boot")
+	checkpoint := flag.Duration("checkpoint", 30*time.Second, "checkpoint interval when -state-dir is set")
 	flag.Parse()
 	if *zones < 1 {
 		log.Fatalf("need at least one zone, got %d", *zones)
 	}
-	// Validate the strategy flags up front: NewService treats an unknown
-	// detector as a programming error (panic), but a CLI typo deserves a
-	// clean usage failure.
+	// Validate the strategy flags up front so a CLI typo is a clean
+	// usage failure instead of a construction error.
 	if !contains(tafloc.DetectorNames(), *detector) {
 		log.Fatalf("unknown detector %q; registered: %v", *detector, tafloc.DetectorNames())
 	}
@@ -141,21 +154,45 @@ func main() {
 	}
 
 	factory := &zoneFactory{matcher: *matcher, days: *days, deps: make(map[string]*tafloc.Deployment)}
-	svc := tafloc.NewService(
+	svc, err := tafloc.NewService(
 		tafloc.WithWindow(*window),
 		tafloc.WithDetectThreshold(*threshold),
 		tafloc.WithDetector(*detector),
 		tafloc.WithZoneFactory(factory.build),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	factory.svc = svc
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
+	// Warm start: every snapshot in the state directory restores a zone
+	// without recalibration — the calibrated radio map, mask, references,
+	// and per-zone serve config come straight off disk.
+	restored := make(map[string]bool)
+	if *stateDir != "" {
+		ids, err := svc.RestoreDir(*stateDir)
+		if err != nil {
+			// Damaged snapshots are reported and skipped; the healthy
+			// zones (and freshly surveyed ones) still serve.
+			log.Printf("state-dir: %v", err)
+		}
+		for _, id := range ids {
+			restored[id] = true
+			fmt.Printf("%s: warm-restored from %s\n", id, *stateDir)
+		}
+	}
+
 	// One independent deployment and system per zone. Day-0 surveys are
-	// the expensive part of startup; each zone pays it once.
+	// the expensive part of startup; each zone pays it once — unless a
+	// snapshot already covers it.
 	for i := 0; i < *zones; i++ {
 		id := fmt.Sprintf("zone-%d", i)
+		if restored[id] {
+			continue
+		}
 		sys, err := factory.build(ctx, id, tafloc.ZoneSpec{})
 		if err != nil {
 			log.Fatal(err)
@@ -170,6 +207,16 @@ func main() {
 
 	if err := svc.Start(ctx); err != nil {
 		log.Fatal(err)
+	}
+	if *stateDir != "" {
+		// Interval checkpoints plus a final one when ctx is cancelled
+		// (SIGINT/SIGTERM), so a clean stop persists fully current state.
+		if err := svc.StartCheckpointer(ctx, *stateDir, *checkpoint, func(err error) {
+			log.Printf("checkpoint: %v", err)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpointing zones to %s every %v\n", *stateDir, *checkpoint)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -194,7 +241,14 @@ func main() {
 			}
 			for i := 0; i < *zones; i++ {
 				id := fmt.Sprintf("zone-%d", i)
-				dep, _ := factory.deployment(id)
+				dep, ok := factory.deployment(id)
+				if !ok {
+					// Warm-restored zones serve the snapshot's radio map;
+					// this process has no channel simulator matched to it,
+					// so it cannot generate faithful traffic for them.
+					log.Printf("simulator: %s was restored from a snapshot; not simulating", id)
+					continue
+				}
 				go simulateZone(ctx, cli, dep, id, *days, *interval)
 			}
 		}()

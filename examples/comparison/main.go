@@ -59,7 +59,10 @@ func main() {
 
 	// Serve the day-0 system as a zone and read one estimate back
 	// through the client SDK.
-	svc := tafloc.NewService(tafloc.WithWindow(4), tafloc.WithDetectThreshold(0.25))
+	svc, err := tafloc.NewService(tafloc.WithWindow(4), tafloc.WithDetectThreshold(0.25))
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := svc.AddZone("arena", sys); err != nil {
 		log.Fatal(err)
 	}

@@ -54,11 +54,14 @@ func main() {
 	}
 
 	// Serve both as zones and talk to them only through the client SDK.
-	svc := tafloc.NewService(
+	svc, err := tafloc.NewService(
 		tafloc.WithWindow(win),
 		tafloc.WithBatch(win*dep.Channel.M()),
 		tafloc.WithDetectThreshold(0.05),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := svc.AddZone("maintained", maintained); err != nil {
 		log.Fatal(err)
 	}

@@ -47,11 +47,14 @@ func main() {
 
 	// The serving layer: one zone, fed by the collector sink below,
 	// gated by the "mad" presence detector.
-	svc := tafloc.NewService(
+	svc, err := tafloc.NewService(
 		tafloc.WithWindow(8),
 		tafloc.WithDetectThreshold(0.8),
 		tafloc.WithDetector("mad"),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := svc.AddZone("room", sys); err != nil {
 		log.Fatal(err)
 	}

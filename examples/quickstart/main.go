@@ -89,10 +89,13 @@ func main() {
 	// 6. Serve the refreshed system as a zone and consume it the way any
 	// remote client would: reports in over HTTP, estimates streamed back
 	// over the SSE watch.
-	svc := tafloc.NewService(
+	svc, err := tafloc.NewService(
 		tafloc.WithWindow(win),
 		tafloc.WithDetectThreshold(0.25),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := svc.AddZone("room", sys); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"tafloc/internal/geom"
+	"tafloc/internal/mat"
+	"tafloc/taflocerr"
+)
+
+// SystemState is the complete calibrated state of a System: everything an
+// identical replacement needs to publish the same estimates without
+// redoing the day-0 survey, mask learning, reference selection, or any
+// LoLi-IR reconstruction. It is the unit internal/snap serializes for
+// warm restarts.
+//
+// A custom Matcher implementation injected through SystemOptions.Matcher
+// cannot travel in a state (it is arbitrary code); only MatcherName is
+// captured. A system built with an unregistered custom matcher restores
+// onto the built-in mask-aware weighted path.
+type SystemState struct {
+	// Deployment geometry.
+	Links         []geom.Segment
+	GridWidth     float64
+	GridHeight    float64
+	GridCellSize  float64
+	EllipseExcess float64
+
+	// Construction options (minus the non-serializable Matcher impl).
+	LoLi            LoLiOptions
+	Refs            ReferenceOptions
+	MatcherName     string
+	RecSigmaDB      float64
+	MaskThresholdDB float64
+
+	// Calibrated state.
+	Mask     *mat.Matrix // undistorted-entry mask the reconstructor uses
+	X        *mat.Matrix // current fingerprint database (M x N)
+	Observed *mat.Matrix // nil = every entry measured (full survey)
+	Vacant   []float64   // current vacant baseline (length M)
+	RefCells []int       // current reference cell indices
+}
+
+// ExportState captures the system's calibrated state as an independent
+// deep copy; the system may keep serving (and updating) while the copy is
+// serialized.
+func (s *System) ExportState() *SystemState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := &SystemState{
+		Links:           append([]geom.Segment(nil), s.layout.Links...),
+		GridWidth:       s.layout.Grid.Width,
+		GridHeight:      s.layout.Grid.Height,
+		GridCellSize:    s.layout.Grid.CellSize,
+		EllipseExcess:   s.layout.EllipseExcess,
+		LoLi:            s.opts.LoLi,
+		Refs:            s.opts.Refs,
+		MatcherName:     s.opts.MatcherName,
+		RecSigmaDB:      s.opts.RecSigmaDB,
+		MaskThresholdDB: s.opts.MaskThresholdDB,
+		Mask:            s.recon.Mask().Clone(),
+		X:               s.x.Clone(),
+		Vacant:          append([]float64(nil), s.vacant...),
+		RefCells:        append([]int(nil), s.refs...),
+	}
+	if s.observed != nil {
+		st.Observed = s.observed.Clone()
+	}
+	return st
+}
+
+// RestoreSystem rebuilds a System from an exported state without any
+// recalibration: no survey, no mask learning, no reference selection.
+// Every structural invariant is revalidated — a state decoded from an
+// untrusted or damaged snapshot fails closed with
+// taflocerr.CodeSnapshotCorrupt rather than producing a system that
+// panics later.
+func RestoreSystem(st *SystemState) (*System, error) {
+	if st == nil {
+		return nil, taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt, "core: nil system state")
+	}
+	grid, err := geom.NewGrid(st.GridWidth, st.GridHeight, st.GridCellSize)
+	if err != nil {
+		return nil, taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt, "core: restore: %w", err)
+	}
+	layout, err := NewLayout(st.Links, grid, st.EllipseExcess)
+	if err != nil {
+		return nil, taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt, "core: restore: %w", err)
+	}
+	m, n := layout.M(), layout.N()
+	if st.X == nil || st.X.Rows() != m || st.X.Cols() != n {
+		return nil, taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt,
+			"core: restore: fingerprint database must be %dx%d", m, n)
+	}
+	if !st.X.IsFinite() {
+		return nil, taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt,
+			"core: restore: fingerprint database has non-finite entries")
+	}
+	if st.Observed != nil && (st.Observed.Rows() != m || st.Observed.Cols() != n) {
+		return nil, taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt,
+			"core: restore: observed mask must be %dx%d", m, n)
+	}
+	if len(st.Vacant) != m {
+		return nil, taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt,
+			"core: restore: vacant baseline must have length %d", m)
+	}
+	if len(st.RefCells) == 0 {
+		return nil, taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt, "core: restore: no reference cells")
+	}
+	for _, r := range st.RefCells {
+		if r < 0 || r >= n {
+			return nil, taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt,
+				"core: restore: reference cell %d out of range %d", r, n)
+		}
+	}
+	recon, err := NewReconstructorWithMask(layout, st.Mask, st.LoLi)
+	if err != nil {
+		return nil, taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt, "core: restore: %w", err)
+	}
+	opts := SystemOptions{
+		LoLi:            st.LoLi,
+		Refs:            st.Refs,
+		MatcherName:     st.MatcherName,
+		RecSigmaDB:      st.RecSigmaDB,
+		MaskThresholdDB: st.MaskThresholdDB,
+	}
+	if opts.MatcherName != "" && opts.MatcherName != MatcherWKNN {
+		mm, merr := NewMatcherByName(opts.MatcherName)
+		if merr != nil {
+			return nil, taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt, "core: restore: %w", merr)
+		}
+		opts.Matcher = mm
+	}
+	sys := &System{
+		layout: layout,
+		opts:   opts,
+		recon:  recon,
+		x:      st.X.Clone(),
+		vacant: append([]float64(nil), st.Vacant...),
+		refs:   append([]int(nil), st.RefCells...),
+	}
+	if st.Observed != nil {
+		sys.observed = st.Observed.Clone()
+	}
+	return sys, nil
+}

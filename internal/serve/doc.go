@@ -40,7 +40,8 @@
 //	GET  /v1/healthz             service liveness and per-zone counters
 //
 // And the /v2 routes, which add taflocerr error codes on every failure,
-// runtime zone lifecycle, and a server-sent-events watch stream:
+// runtime zone lifecycle, a server-sent-events watch stream, and
+// deployment snapshots:
 //
 //	POST   /v2/report              as /v1, but a bad link index is 422 + code
 //	GET    /v2/zones               sorted zone IDs
@@ -48,7 +49,18 @@
 //	DELETE /v2/zones/{id}          remove a zone at runtime
 //	GET    /v2/zones/{id}/position the zone's latest estimate
 //	GET    /v2/zones/{id}/watch    SSE estimate stream (see docs/API.md)
+//	GET    /v2/zones/{id}/snapshot export the calibrated deployment (binary)
+//	PUT    /v2/zones/{id}/snapshot warm-start a zone from an uploaded snapshot
 //	GET    /v2/healthz             liveness and per-zone counters
+//
+// Zones persist across restarts: SnapshotZone/RestoreZone round-trip a
+// zone's calibrated deployment (and its per-zone serve config) through
+// the versioned, CRC-checked binary codec in internal/snap, Checkpoint
+// and RestoreDir do it for whole state directories with atomic file
+// replacement, and StartCheckpointer runs the background loop
+// cmd/tafloc-serve exposes as -state-dir — interval checkpoints plus a
+// final one on shutdown. A restored zone publishes estimates identical
+// to the never-restarted one; see docs/PERSISTENCE.md.
 //
 // Package client is the typed SDK for the /v2 surface; the wire types
 // live in internal/api and the error taxonomy in tafloc/taflocerr.

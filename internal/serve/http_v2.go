@@ -6,14 +6,18 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"tafloc/internal/api"
+	"tafloc/internal/snap"
 	"tafloc/taflocerr"
 )
 
-// The /v2 surface: the /v1 routes plus runtime zone lifecycle and a
-// streaming watch, with every error carrying a taxonomy code.
+// The /v2 surface: the /v1 routes plus runtime zone lifecycle, a
+// streaming watch, and deployment snapshots, with every error carrying
+// a taxonomy code.
 //
 //	POST   /v2/report             ingest a batch (422 + code bad_link on a bad link index)
 //	GET    /v2/zones              sorted zone IDs
@@ -21,7 +25,13 @@ import (
 //	DELETE /v2/zones/{id}         remove a zone at runtime
 //	GET    /v2/zones/{id}/position latest estimate
 //	GET    /v2/zones/{id}/watch   SSE stream of estimates
+//	GET    /v2/zones/{id}/snapshot export the zone's calibrated deployment (binary)
+//	PUT    /v2/zones/{id}/snapshot warm-start a zone from an uploaded snapshot
 //	GET    /v2/healthz            liveness and per-zone counters
+//
+// The snapshot routes are gated the same way as zone creation: a
+// service without a configured ZoneFactory has not opted into remote
+// zone administration and answers 501 + code unsupported.
 
 // errorV2 writes the typed error body, deriving status and code from
 // the taflocerr taxonomy.
@@ -99,10 +109,75 @@ func (s *Service) handleZoneV2(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleWatch(w, r, id)
+	case "snapshot":
+		switch r.Method {
+		case http.MethodGet:
+			s.handleSnapshotGet(w, id)
+		case http.MethodPut:
+			s.handleSnapshotPut(w, r, id)
+		default:
+			methodNotAllowedV2(w, "GET or PUT")
+		}
 	default:
 		errorV2(w, taflocerr.Errorf(taflocerr.CodeBadRequest,
 			"serve: unknown zone subresource %q", sub))
 	}
+}
+
+// maxSnapshotBody bounds PUT /v2/zones/{id}/snapshot uploads. Radio
+// maps are dense float64 matrices, so snapshots are far bigger than
+// report batches; 64 MiB covers thousands of cells.
+const maxSnapshotBody = 64 << 20
+
+func (s *Service) handleSnapshotGet(w http.ResponseWriter, id string) {
+	if s.cfg.ZoneFactory == nil {
+		errorV2(w, taflocerr.Errorf(taflocerr.CodeUnsupported,
+			"serve: snapshot transfer over HTTP requires a ZoneFactory"))
+		return
+	}
+	data, err := s.SnapshotZone(id)
+	if err != nil {
+		errorV2(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Service) handleSnapshotPut(w http.ResponseWriter, r *http.Request, id string) {
+	if s.cfg.ZoneFactory == nil {
+		errorV2(w, taflocerr.Errorf(taflocerr.CodeUnsupported,
+			"serve: snapshot transfer over HTTP requires a ZoneFactory"))
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotBody))
+	if err != nil {
+		errorV2(w, taflocerr.Errorf(taflocerr.CodeBadRequest, "serve: read snapshot: %v", err))
+		return
+	}
+	sn, err := snap.Decode(data)
+	if err != nil {
+		errorV2(w, err)
+		return
+	}
+	if sn.Zone != id {
+		errorV2(w, taflocerr.Errorf(taflocerr.CodeBadRequest,
+			"serve: snapshot is for zone %q, not %q", sn.Zone, id))
+		return
+	}
+	if _, err := s.restoreSnapshot(sn); err != nil {
+		errorV2(w, err)
+		return
+	}
+	// Dimensions come from the decoded snapshot, not a re-lookup — the
+	// zone could already have been removed again by a concurrent DELETE.
+	writeJSON(w, http.StatusCreated, api.ZoneInfo{
+		Zone:  id,
+		Links: len(sn.State.Links),
+		Cells: sn.State.X.Cols(),
+	})
 }
 
 func (s *Service) handleZoneCreate(w http.ResponseWriter, r *http.Request, id string) {
@@ -153,6 +228,12 @@ func (s *Service) handleZoneDelete(w http.ResponseWriter, id string) {
 //
 // when the zone is removed, after which the stream ends. The stream also
 // ends when the client disconnects or its request context is cancelled.
+//
+// Between estimates the stream emits ": heartbeat" comment lines every
+// Config.WatchHeartbeat (flushed immediately), so an idle stream — a
+// vacant zone publishes nothing — is not killed by proxy or
+// load-balancer idle timeouts. SSE clients ignore comment lines by
+// protocol; package client does so explicitly.
 func (s *Service) handleWatch(w http.ResponseWriter, r *http.Request, id string) {
 	ch, stop, err := s.Watch(id)
 	if err != nil {
@@ -170,10 +251,19 @@ func (s *Service) handleWatch(w http.ResponseWriter, r *http.Request, id string)
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
+	var heartbeat <-chan time.Time
+	if s.cfg.WatchHeartbeat > 0 {
+		ticker := time.NewTicker(s.cfg.WatchHeartbeat)
+		defer ticker.Stop()
+		heartbeat = ticker.C
+	}
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-heartbeat:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
 		case e, open := <-ch:
 			if !open {
 				// Zone removed; the terminal estimate may have been shed if

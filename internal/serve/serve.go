@@ -33,52 +33,94 @@ var (
 // taflocerr.CodeUnsupported.
 type ZoneFactory func(ctx context.Context, id string, spec api.ZoneSpec) (*core.System, error)
 
-// Config tunes the service. The zero value selects the defaults noted on
-// each field.
+// Config tunes the service. A zero field means "unset" and selects the
+// default noted on it; a negative value means "explicitly the minimum" —
+// zero for fields where zero is meaningful (an unbuffered queue, a
+// disabled detection gate, no heartbeat), the smallest legal value
+// otherwise. The two cannot be conflated: Config{} keeps every default,
+// while Config{DetectThresholdDB: -1} genuinely disables presence
+// gating. The functional options in the root package translate explicit
+// zero arguments into the negative sentinels, so
+// tafloc.WithDetectThreshold(0) does what it says.
 type Config struct {
 	// QueueDepth is the number of pending report batches each zone's
-	// bounded queue holds before Report sheds load (default 256).
+	// bounded queue holds before Report sheds load (default 256;
+	// negative = 0, an unbuffered queue that rendezvouses with the
+	// worker and sheds whenever it is busy).
 	QueueDepth int
 	// BatchSize is the maximum number of reports a zone worker folds
-	// before answering one batched match query (default 64).
+	// before answering one batched match query (default 64; negative =
+	// 1, one match query per batch).
 	BatchSize int
 	// Window is the per-link live-window length the worker averages over
-	// (default 8, matching the collector's default).
+	// (default 8, matching the collector's default; negative = 1, no
+	// averaging).
 	Window int
 	// DetectThresholdDB gates localization on target presence: batches
 	// whose live vector deviates less than this from the zone's vacant
 	// baseline publish an absent estimate without paying for matching
-	// (default 1 dB).
+	// (default 1 dB; negative = gating disabled, every batch localizes).
 	DetectThresholdDB float64
 	// Detector names the presence-detection strategy from the core
-	// registry (default core.DetectorMAD). Unknown names fail at New.
+	// registry (default core.DetectorMAD). Unknown names fail NewService
+	// with a taflocerr error and panic the legacy New.
 	Detector string
 	// WatchBuffer is the per-watcher event buffer; a watcher that falls
 	// more than this many estimates behind misses the intermediate ones
-	// (default 16).
+	// (default 16; negative = 1).
 	WatchBuffer int
+	// WatchHeartbeat is how often an idle SSE watch stream emits a
+	// ": heartbeat" comment so proxy and load-balancer idle timeouts do
+	// not kill it (default 15s; negative = no heartbeats).
+	WatchHeartbeat time.Duration
 	// ZoneFactory enables zone creation over the /v2 HTTP surface.
 	ZoneFactory ZoneFactory
 }
 
+// withDefaults normalizes a Config: zero fields become the documented
+// defaults, negative fields become their explicit minimum. After
+// normalization every field holds its effective value (in particular
+// DetectThresholdDB == 0 means the gate is off and WatchHeartbeat == 0
+// means no heartbeats).
 func (c Config) withDefaults() Config {
-	if c.QueueDepth <= 0 {
+	switch {
+	case c.QueueDepth == 0:
 		c.QueueDepth = 256
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
 	}
-	if c.BatchSize <= 0 {
+	switch {
+	case c.BatchSize == 0:
 		c.BatchSize = 64
+	case c.BatchSize < 0:
+		c.BatchSize = 1
 	}
-	if c.Window <= 0 {
+	switch {
+	case c.Window == 0:
 		c.Window = 8
+	case c.Window < 0:
+		c.Window = 1
 	}
-	if c.DetectThresholdDB <= 0 {
+	switch {
+	case c.DetectThresholdDB == 0:
 		c.DetectThresholdDB = 1
+	case c.DetectThresholdDB < 0:
+		c.DetectThresholdDB = 0
 	}
 	if c.Detector == "" {
 		c.Detector = core.DetectorMAD
 	}
-	if c.WatchBuffer <= 0 {
+	switch {
+	case c.WatchBuffer == 0:
 		c.WatchBuffer = 16
+	case c.WatchBuffer < 0:
+		c.WatchBuffer = 1
+	}
+	switch {
+	case c.WatchHeartbeat == 0:
+		c.WatchHeartbeat = 15 * time.Second
+	case c.WatchHeartbeat < 0:
+		c.WatchHeartbeat = 0
 	}
 	return c
 }
@@ -100,12 +142,25 @@ func FromWire(r *wire.RSSReport) Report {
 	return Report{Link: int(r.LinkID), RSS: r.RSS(), Vacant: r.Vacant()}
 }
 
+// zoneConfig is the per-zone slice of the serving configuration: the
+// knobs that shape what a zone publishes (as opposed to how the service
+// schedules it). Zones default to the service-wide Config; a zone
+// restored from a snapshot keeps the configuration it was captured
+// under, so a restored zone serves exactly as the original did.
+type zoneConfig struct {
+	window   int
+	thrDB    float64 // normalized: 0 = presence gating disabled
+	detector string
+	det      core.DetectorFactory
+}
+
 // zone is one shard: a core.System plus the worker-owned ingest state.
 // Everything below queue is touched only by the zone's worker goroutine,
 // so it needs no locking.
 type zone struct {
 	id    string
 	sys   *core.System
+	zc    zoneConfig
 	queue chan []Report
 
 	// per-link ring windows: win holds every sample (a vacant room is a
@@ -136,8 +191,8 @@ type zone struct {
 // ingest with Report, read positions lock-free with Position, and stream
 // them with Watch. Zones can be added, removed, and swapped at runtime.
 type Service struct {
-	cfg Config
-	det core.DetectorFactory
+	cfg   Config
+	defZC zoneConfig // zone configuration for zones added with AddZone
 
 	mu       sync.RWMutex // guards zones/order/watchers mutation and snapshot publication
 	zones    map[string]*zone
@@ -153,35 +208,72 @@ type Service struct {
 	wg      sync.WaitGroup
 }
 
-// New builds an empty service with the given configuration. An unknown
-// Config.Detector name panics: it is a programming error on the same
-// level as an invalid literal, and New has no error return for
-// compatibility.
-func New(cfg Config) *Service {
+// NewService builds an empty service with the given configuration. An
+// unknown Config.Detector name is surfaced as a taflocerr error
+// (matching taflocerr.ErrBadRequest) — the builder path never panics.
+func NewService(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
+	zc, err := newZoneConfig(cfg.Window, cfg.DetectThresholdDB, cfg.Detector)
+	if err != nil {
+		return nil, err
+	}
 	s := &Service{
 		cfg:      cfg,
+		defZC:    zc,
 		zones:    make(map[string]*zone),
 		watchers: make(map[string]map[chan Estimate]bool),
 	}
-	if _, err := core.NewDetectorByName(cfg.Detector, nil, 1); err != nil {
-		panic(fmt.Sprintf("serve: %v", err))
-	}
-	s.det = func(vacant []float64, thr float64) core.Presence {
-		p, _ := core.NewDetectorByName(cfg.Detector, vacant, thr)
-		return p
-	}
 	empty := make(map[string]Estimate)
 	s.snap.Store(&empty)
+	return s, nil
+}
+
+// New builds an empty service with the given configuration. An unknown
+// Config.Detector name panics: it is a programming error on the same
+// level as an invalid literal, and New has no error return for
+// compatibility. Builder-style callers should use NewService, which
+// returns the error instead.
+func New(cfg Config) *Service {
+	s, err := NewService(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("serve: %v", err))
+	}
 	return s
 }
 
-// newZone allocates the shard state for sys under id.
-func (s *Service) newZone(id string, sys *core.System) *zone {
+// newZoneConfig validates and assembles a per-zone configuration.
+// window and thrDB must already be normalized (window >= 1, thrDB >= 0
+// with 0 meaning the gate is off).
+func newZoneConfig(window int, thrDB float64, detector string) (zoneConfig, error) {
+	if window < 1 {
+		return zoneConfig{}, taflocerr.Errorf(taflocerr.CodeBadRequest,
+			"serve: window must be at least 1, got %d", window)
+	}
+	if thrDB < 0 {
+		thrDB = 0
+	}
+	if _, err := core.NewDetectorByName(detector, nil, 1); err != nil {
+		return zoneConfig{}, err
+	}
+	return zoneConfig{
+		window:   window,
+		thrDB:    thrDB,
+		detector: detector,
+		det: func(vacant []float64, thr float64) core.Presence {
+			p, _ := core.NewDetectorByName(detector, vacant, thr)
+			return p
+		},
+	}, nil
+}
+
+// newZone allocates the shard state for sys under id with the given
+// per-zone configuration.
+func (s *Service) newZone(id string, sys *core.System, zc zoneConfig) *zone {
 	m := sys.Layout().M()
 	z := &zone{
 		id:    id,
 		sys:   sys,
+		zc:    zc,
 		queue: make(chan []Report, s.cfg.QueueDepth),
 		win:   make([][]float64, m),
 		widx:  make([]int, m),
@@ -191,8 +283,8 @@ func (s *Service) newZone(id string, sys *core.System) *zone {
 		vfill: make([]int, m),
 	}
 	for i := range z.win {
-		z.win[i] = make([]float64, s.cfg.Window)
-		z.vwin[i] = make([]float64, s.cfg.Window)
+		z.win[i] = make([]float64, zc.window)
+		z.vwin[i] = make([]float64, zc.window)
 	}
 	return z
 }
@@ -212,6 +304,12 @@ func (s *Service) startZoneLocked(z *zone) {
 // service is running (the worker launches immediately). A stopped
 // service rejects new zones — their workers could never run.
 func (s *Service) AddZone(id string, sys *core.System) error {
+	return s.addZone(id, sys, s.defZC)
+}
+
+// addZone registers a zone under an explicit per-zone configuration
+// (AddZone passes the service default; RestoreZone the snapshot's).
+func (s *Service) addZone(id string, sys *core.System, zc zoneConfig) error {
 	if id == "" {
 		return taflocerr.Errorf(taflocerr.CodeBadRequest, "serve: empty zone id")
 	}
@@ -226,7 +324,7 @@ func (s *Service) AddZone(id string, sys *core.System) error {
 	if _, ok := s.zones[id]; ok {
 		return ErrZoneExists
 	}
-	z := s.newZone(id, sys)
+	z := s.newZone(id, sys, zc)
 	s.zones[id] = z
 	s.order = append(s.order, id)
 	sort.Strings(s.order)
@@ -346,10 +444,11 @@ func (s *Service) UpdateZone(id string, sys *core.System) error {
 }
 
 // swapZoneLocked replaces z with a fresh zone over sys, carrying the
-// counters (including the worker-owned folded count, safe to read once
-// the worker has exited or never ran). Caller holds s.mu.
+// per-zone configuration and the counters (including the worker-owned
+// folded count, safe to read once the worker has exited or never ran).
+// Caller holds s.mu.
 func (s *Service) swapZoneLocked(z *zone, sys *core.System) {
-	nz := s.newZone(z.id, sys)
+	nz := s.newZone(z.id, sys, z.zc)
 	nz.folded = z.folded
 	nz.received.Store(z.received.Load())
 	nz.dropped.Store(z.dropped.Load())
@@ -652,26 +751,38 @@ func (s *Service) localize(z *zone) {
 	z.estimates.Add(1)
 }
 
-// detect gates localization on target presence through the configured
+// detect gates localization on target presence through the zone's
 // detector. When every link has received vacant-flagged samples, the
 // mean of those windows is a fresher baseline than the system's last
 // vacant capture and is used instead, so detection tracks drift between
-// fingerprint updates.
+// fingerprint updates. A zone with a zero threshold has the gate
+// disabled: the deviation is still computed (and published), but the
+// target always counts as present.
 func (s *Service) detect(z *zone, y []float64) (bool, float64) {
+	vac := z.sys.Vacant()
+	fresh := true
 	for i := range z.vfill {
 		if z.vfill[i] == 0 {
-			return s.det(z.sys.Vacant(), s.cfg.DetectThresholdDB).Present(y)
+			fresh = false
+			break
 		}
 	}
-	vac := make([]float64, len(z.vwin))
-	for i, v := range z.vwin {
-		var sum float64
-		for k := 0; k < z.vfill[i]; k++ {
-			sum += v[k]
+	if fresh {
+		for i, v := range z.vwin {
+			var sum float64
+			for k := 0; k < z.vfill[i]; k++ {
+				sum += v[k]
+			}
+			vac[i] = sum / float64(z.vfill[i])
 		}
-		vac[i] = sum / float64(z.vfill[i])
 	}
-	return s.det(vac, s.cfg.DetectThresholdDB).Present(y)
+	if z.zc.thrDB <= 0 {
+		// Gate disabled. The detector still supplies the deviation signal;
+		// the threshold passed is irrelevant because the verdict is ignored.
+		_, dev := z.zc.det(vac, 1).Present(y)
+		return true, dev
+	}
+	return z.zc.det(vac, z.zc.thrDB).Present(y)
 }
 
 // publish installs an estimate into the read-mostly snapshot and fans it

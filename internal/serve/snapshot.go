@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"tafloc/internal/core"
+	"tafloc/internal/snap"
+	"tafloc/taflocerr"
+)
+
+// Persistence: a calibrated zone exports as a versioned, CRC-checked
+// binary snapshot (see internal/snap) and restores without any
+// recalibration — no survey, no mask learning, no reference selection,
+// no LoLi-IR. A restored zone publishes the same estimates the original
+// would for the same report stream, and keeps the serving configuration
+// (window, detector, threshold) it was captured under even when the
+// restoring service was built with different defaults.
+
+// SnapshotZone exports a zone's calibrated deployment as an encoded
+// snapshot. The export is a consistent deep copy — the zone keeps
+// serving while the bytes are written out.
+func (s *Service) SnapshotZone(id string) ([]byte, error) {
+	sn, err := s.snapshotZone(id)
+	if err != nil {
+		return nil, err
+	}
+	return snap.Encode(sn)
+}
+
+func (s *Service) snapshotZone(id string) (*snap.Snapshot, error) {
+	s.mu.RLock()
+	z, ok := s.zones[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrUnknownZone
+	}
+	return &snap.Snapshot{
+		Zone:    id,
+		SavedAt: time.Now(),
+		Config: snap.ZoneConfig{
+			Window:            z.zc.window,
+			DetectThresholdDB: z.zc.thrDB,
+			Detector:          z.zc.detector,
+		},
+		State: z.sys.ExportState(),
+	}, nil
+}
+
+// RestoreZone warm-starts a zone from an encoded snapshot: decode,
+// validate, rebuild the core.System, and register it under the
+// snapshot's zone ID with the snapshot's per-zone serving
+// configuration. It returns the restored zone's ID. Corrupt or
+// truncated snapshots fail closed with taflocerr.CodeSnapshotCorrupt
+// (or CodeSnapshotVersion); an already-registered ID fails with
+// ErrZoneExists, leaving the live zone untouched.
+func (s *Service) RestoreZone(data []byte) (string, error) {
+	sn, err := snap.Decode(data)
+	if err != nil {
+		return "", err
+	}
+	return s.restoreSnapshot(sn)
+}
+
+// maxRestoreWindow bounds the per-link window length a snapshot may
+// request. Legitimate windows are single-digit to low hundreds; the cap
+// keeps a crafted-but-CRC-valid snapshot from driving newZone into a
+// huge (or impossible) per-link allocation.
+const maxRestoreWindow = 1 << 16
+
+func (s *Service) restoreSnapshot(sn *snap.Snapshot) (string, error) {
+	if sn.Zone == "" {
+		return "", taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt, "serve: snapshot has no zone id")
+	}
+	if sn.Config.Window > maxRestoreWindow {
+		return "", taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt,
+			"serve: snapshot window %d exceeds limit %d", sn.Config.Window, maxRestoreWindow)
+	}
+	sys, err := core.RestoreSystem(sn.State)
+	if err != nil {
+		return "", err
+	}
+	window := sn.Config.Window
+	if window < 1 {
+		window = s.cfg.Window
+	}
+	detector := sn.Config.Detector
+	if detector == "" {
+		detector = s.cfg.Detector
+	}
+	zc, err := newZoneConfig(window, sn.Config.DetectThresholdDB, detector)
+	if err != nil {
+		// The snapshot names a detector this build does not have
+		// registered; that is a property of the file, not of the request.
+		return "", taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt,
+			"serve: snapshot for zone %q: %w", sn.Zone, err)
+	}
+	if err := s.addZone(sn.Zone, sys, zc); err != nil {
+		return "", err
+	}
+	return sn.Zone, nil
+}
+
+// snapFileName maps a zone ID to its snapshot file name. IDs arrive
+// over HTTP and may contain path separators; escaping keeps every zone
+// inside the state directory and the mapping reversible.
+func snapFileName(id string) string {
+	return url.PathEscape(id) + ".snap"
+}
+
+// Checkpoint snapshots every registered zone into dir, one
+// atomically-replaced "<escaped-id>.snap" file per zone. Zones removed
+// mid-walk are skipped. The first write error aborts the walk.
+//
+// The service owns the directory: after writing, Checkpoint prunes
+// ".snap" files whose zone is no longer registered, so a zone removed
+// at runtime stays removed across restarts instead of resurrecting
+// from its stale snapshot on the next boot.
+func (s *Service) Checkpoint(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, id := range s.Zones() {
+		sn, err := s.snapshotZone(id)
+		if err != nil {
+			if errors.Is(err, ErrUnknownZone) {
+				continue // removed since Zones()
+			}
+			return err
+		}
+		if err := snap.WriteFile(filepath.Join(dir, snapFileName(id)), sn); err != nil {
+			return err
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		id, err := url.PathUnescape(strings.TrimSuffix(name, ".snap"))
+		if err != nil {
+			continue // not a name this service wrote; leave it alone
+		}
+		// Re-check liveness per file rather than against the earlier
+		// Zones() slice, so a zone added mid-checkpoint is never pruned.
+		s.mu.RLock()
+		_, live := s.zones[id]
+		s.mu.RUnlock()
+		if !live {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RestoreDir warm-starts every "*.snap" file in dir, in sorted order.
+// It returns the IDs restored. Files that fail to decode or restore do
+// not stop the others; their errors are joined into the returned error,
+// so a boot can both serve the healthy zones and report the damaged
+// files. A missing directory restores nothing.
+func (s *Service) RestoreDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".snap") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var restored []string
+	var errs []error
+	for _, name := range names {
+		sn, err := snap.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			errs = append(errs, taflocerr.Errorf(taflocerr.CodeOf(err), "serve: restore %s: %w", name, err))
+			continue
+		}
+		id, err := s.restoreSnapshot(sn)
+		if err != nil {
+			errs = append(errs, taflocerr.Errorf(taflocerr.CodeOf(err), "serve: restore %s: %w", name, err))
+			continue
+		}
+		restored = append(restored, id)
+	}
+	return restored, errors.Join(errs...)
+}
+
+// StartCheckpointer runs a background checkpoint loop: every interval
+// it writes all zones to dir, and when ctx is cancelled (service
+// shutdown, SIGTERM) it writes one final checkpoint before exiting, so
+// the state on disk is at most one interval old in a crash and fully
+// current on a clean stop. Checkpoint errors are reported to onErr (may
+// be nil) and do not stop the loop. The goroutine is counted in Wait.
+func (s *Service) StartCheckpointer(ctx context.Context, dir string, interval time.Duration, onErr func(error)) error {
+	if interval <= 0 {
+		return taflocerr.Errorf(taflocerr.CodeBadRequest,
+			"serve: checkpoint interval must be positive, got %v", interval)
+	}
+	report := func(err error) {
+		if err != nil && onErr != nil {
+			onErr(err)
+		}
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				report(s.Checkpoint(dir))
+				return
+			case <-ticker.C:
+				report(s.Checkpoint(dir))
+			}
+		}
+	}()
+	return nil
+}

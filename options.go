@@ -1,6 +1,8 @@
 package tafloc
 
 import (
+	"time"
+
 	"tafloc/internal/api"
 	"tafloc/internal/core"
 	"tafloc/internal/mat"
@@ -95,38 +97,68 @@ func OpenDeployment(dep *Deployment, opts ...Option) (*System, error) {
 type ServiceOption func(*serve.Config)
 
 // WithZoneQueue sets the per-zone bounded ingest queue depth (pending
-// batches before Report sheds load).
+// batches before Report sheds load). An explicit depth <= 0 selects an
+// unbuffered queue: Report hands batches directly to the zone worker
+// and sheds whenever it is busy.
 func WithZoneQueue(depth int) ServiceOption {
+	if depth <= 0 {
+		depth = -1 // explicit zero, not "use the default"
+	}
 	return func(c *serve.Config) { c.QueueDepth = depth }
 }
 
 // WithBatch sets the maximum reports a zone worker folds per batched
-// match query.
+// match query; size <= 0 means one match query per batch.
 func WithBatch(size int) ServiceOption {
+	if size <= 0 {
+		size = -1
+	}
 	return func(c *serve.Config) { c.BatchSize = size }
 }
 
-// WithWindow sets the per-link live-window length.
+// WithWindow sets the per-link live-window length; n <= 0 selects the
+// minimum window of 1 (no averaging).
 func WithWindow(n int) ServiceOption {
+	if n <= 0 {
+		n = -1
+	}
 	return func(c *serve.Config) { c.Window = n }
 }
 
-// WithDetectThreshold sets the presence-detection threshold in dB.
+// WithDetectThreshold sets the presence-detection threshold in dB. An
+// explicit db <= 0 disables presence gating entirely: every batch
+// localizes, and published estimates always have Present set (the
+// deviation signal is still computed and reported).
 func WithDetectThreshold(db float64) ServiceOption {
+	if db <= 0 {
+		db = -1
+	}
 	return func(c *serve.Config) { c.DetectThresholdDB = db }
 }
 
 // WithDetector selects the presence detector by registry name — "mad",
 // "rms", "maxlink", or any name installed with RegisterDetector.
-// NewService panics on an unknown name (it has no error return; the
-// name set is fixed at startup, so this is a programming error).
+// NewService returns a taflocerr error for an unknown name.
 func WithDetector(name string) ServiceOption {
 	return func(c *serve.Config) { c.Detector = name }
 }
 
-// WithWatchBuffer sets the per-watcher event buffer length.
+// WithWatchBuffer sets the per-watcher event buffer length (minimum 1).
 func WithWatchBuffer(n int) ServiceOption {
+	if n <= 0 {
+		n = -1
+	}
 	return func(c *serve.Config) { c.WatchBuffer = n }
+}
+
+// WithWatchHeartbeat sets how often idle SSE watch streams emit a
+// ": heartbeat" comment so proxy idle timeouts do not kill them
+// (default 15s). d <= 0 disables heartbeats.
+func WithWatchHeartbeat(d time.Duration) ServiceOption {
+	if d <= 0 {
+		d = -1
+	}
+	return func(c *serve.Config) { c.WatchHeartbeat = d }
 }
 
 // WithZoneFactory enables zone creation over the /v2 HTTP surface
@@ -139,16 +171,20 @@ func WithZoneFactory(f ZoneFactory) ServiceOption {
 // NewService builds an empty multi-zone service with functional
 // options; register zones with Service.AddZone (before or after Start):
 //
-//	svc := tafloc.NewService(
+//	svc, err := tafloc.NewService(
 //	    tafloc.WithZoneQueue(512),
 //	    tafloc.WithDetector("rms"),
 //	    tafloc.WithZoneFactory(factory))
-func NewService(opts ...ServiceOption) *Service {
+//
+// Invalid configurations — an unregistered detector name, say — are
+// returned as taflocerr errors, never panics; only the deprecated
+// legacy constructor NewServiceFromConfig keeps the documented panic.
+func NewService(opts ...ServiceOption) (*Service, error) {
 	var cfg serve.Config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return serve.New(cfg)
+	return serve.NewService(cfg)
 }
 
 // Registry surface: strategy injection by name.

@@ -1,0 +1,90 @@
+// Command benchjson converts `go test -bench` text output (stdin) into
+// a machine-readable JSON document (stdout), so CI can publish the
+// serving-layer performance trajectory (BENCH_serve.json) as a build
+// artifact instead of burying the numbers in a log.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Serve|Snapshot' -benchtime=1x . | go run ./scripts/benchjson > BENCH_serve.json
+//
+// Each benchmark result line
+//
+//	BenchmarkSnapshotRestore/restore-4   3   56749 ns/op   283.76 MB/s
+//
+// becomes one entry with the iteration count and every metric pair
+// keyed by its unit (ns/op, MB/s, reports/s, ...). Context lines (goos,
+// goarch, pkg, cpu) are captured once at the top level.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	GeneratedAt time.Time         `json:"generated_at"`
+	Context     map[string]string `json:"context,omitempty"`
+	Benchmarks  []result          `json:"benchmarks"`
+}
+
+func main() {
+	doc := document{
+		GeneratedAt: time.Now().UTC(),
+		Context:     map[string]string{},
+		Benchmarks:  []result{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if key, val, ok := strings.Cut(line, ": "); ok && !strings.HasPrefix(line, "Benchmark") {
+			switch key {
+			case "goos", "goarch", "pkg", "cpu":
+				doc.Context[key] = val
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -37,7 +37,7 @@
 //
 // Serving and consuming zones over HTTP:
 //
-//	svc := tafloc.NewService(tafloc.WithDetectThreshold(0.25))
+//	svc, _ := tafloc.NewService(tafloc.WithDetectThreshold(0.25))
 //	svc.AddZone("lobby", sys)
 //	svc.Start(ctx)
 //	go http.ListenAndServe(":8750", svc.Handler())
@@ -152,6 +152,10 @@ type (
 	UpdateInput = core.UpdateInput
 	// Reconstructor runs LoLi-IR for one layout.
 	Reconstructor = core.Reconstructor
+	// SystemState is the complete calibrated state of a System, as
+	// exported by System.ExportState and consumed by RestoreSystem —
+	// the unit the persistence layer snapshots for warm restarts.
+	SystemState = core.SystemState
 	// Location is a localization estimate.
 	Location = core.Location
 	// Matcher locates live measurements against a database.
@@ -203,6 +207,12 @@ func SelectReferences(x *Matrix, opts ReferenceOptions) ([]int, error) {
 func MaskFromSurvey(survey *Matrix, vacant []float64, thresholdDB float64) (*Matrix, error) {
 	return core.MaskFromSurvey(survey, vacant, thresholdDB)
 }
+
+// RestoreSystem rebuilds a System from a state exported with
+// System.ExportState, skipping every calibration step (survey, mask
+// learning, reference selection) — the warm-start path. States decoded
+// from damaged snapshots fail closed with taflocerr.ErrSnapshotCorrupt.
+func RestoreSystem(st *SystemState) (*System, error) { return core.RestoreSystem(st) }
 
 // BuildSystem surveys dep at day 0 and constructs a System with default
 // options — the one-call quickstart path.
@@ -356,10 +366,12 @@ type (
 )
 
 // NewServiceFromConfig builds a multi-zone service from a positional
-// configuration struct.
+// configuration struct. It panics on an unknown Config.Detector name —
+// the legacy contract, kept for compatibility.
 //
 // Deprecated: use NewService, which takes functional options
-// (WithZoneQueue, WithDetector, WithZoneFactory, ...).
+// (WithZoneQueue, WithDetector, WithZoneFactory, ...) and returns
+// configuration errors instead of panicking.
 func NewServiceFromConfig(cfg ServiceConfig) *Service { return serve.New(cfg) }
 
 // ReportFromWire converts a decoded data-plane frame into a service

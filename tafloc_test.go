@@ -159,14 +159,20 @@ func TestOpenWithOptions(t *testing.T) {
 		t.Errorf("registry names: %v / %v", tafloc.MatcherNames(), tafloc.DetectorNames())
 	}
 
-	svc := tafloc.NewService(
+	svc, err := tafloc.NewService(
 		tafloc.WithZoneQueue(8),
 		tafloc.WithWindow(4),
 		tafloc.WithDetector("rms"),
 		tafloc.WithDetectThreshold(0.25),
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := svc.AddZone("z", sys); err != nil {
 		t.Fatal(err)
+	}
+	if _, err := tafloc.NewService(tafloc.WithDetector("no-such")); err == nil {
+		t.Error("unknown detector name accepted by NewService; want a taflocerr error, not a panic")
 	}
 	if got := svc.Zones(); len(got) != 1 || got[0] != "z" {
 		t.Errorf("zones: %v", got)

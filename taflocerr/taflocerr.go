@@ -53,6 +53,13 @@ const (
 	CodeUnsupported Code = "unsupported"
 	// CodeCancelled: the operation's context was cancelled mid-flight.
 	CodeCancelled Code = "cancelled"
+	// CodeSnapshotVersion: a deployment snapshot was written by an
+	// incompatible codec version (or its header is not a snapshot at all).
+	CodeSnapshotVersion Code = "snapshot_version"
+	// CodeSnapshotCorrupt: a deployment snapshot failed integrity
+	// validation — truncated payload, CRC mismatch, or inconsistent
+	// decoded state.
+	CodeSnapshotCorrupt Code = "snapshot_corrupt"
 	// CodeInternal: unclassified server-side failure.
 	CodeInternal Code = "internal"
 )
@@ -117,6 +124,8 @@ var (
 	ErrStarted          = New(CodeStarted, "tafloc: service already started")
 	ErrUnsupported      = New(CodeUnsupported, "tafloc: operation not supported")
 	ErrCancelled        = New(CodeCancelled, "tafloc: operation cancelled")
+	ErrSnapshotVersion  = New(CodeSnapshotVersion, "tafloc: unsupported snapshot version")
+	ErrSnapshotCorrupt  = New(CodeSnapshotCorrupt, "tafloc: corrupt snapshot")
 	ErrInternal         = New(CodeInternal, "tafloc: internal error")
 )
 
@@ -132,6 +141,8 @@ var sentinels = map[Code]*Error{
 	CodeStarted:          ErrStarted,
 	CodeUnsupported:      ErrUnsupported,
 	CodeCancelled:        ErrCancelled,
+	CodeSnapshotVersion:  ErrSnapshotVersion,
+	CodeSnapshotCorrupt:  ErrSnapshotCorrupt,
 	CodeInternal:         ErrInternal,
 }
 
@@ -177,6 +188,10 @@ func HTTPStatus(code Code) int {
 		return 501
 	case CodeCancelled:
 		return 499 // client closed request (nginx convention)
+	case CodeSnapshotVersion:
+		return 400
+	case CodeSnapshotCorrupt:
+		return 422
 	default:
 		return 500
 	}

@@ -83,6 +83,8 @@ func TestHTTPStatus(t *testing.T) {
 		CodeBadRequest:       400,
 		CodeMethodNotAllowed: 405,
 		CodeUnsupported:      501,
+		CodeSnapshotVersion:  400,
+		CodeSnapshotCorrupt:  422,
 		CodeInternal:         500,
 	}
 	for code, want := range cases {
