@@ -3,12 +3,15 @@ package tafloc_test
 import (
 	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"tafloc"
+	"tafloc/client"
 )
 
 // Benchmarks regenerating the paper's evaluation. Each Benchmark*
@@ -303,6 +306,102 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkStreamIngest pins the point of the streaming ingest
+// redesign: reports/sec over a real localhost HTTP connection, one
+// zone, one producer. The "request" sub-benchmark pays one POST
+// /v2/report round trip per batch (the pre-v2.1 client pattern); the
+// "stream" sub-benchmark writes the same batches as NDJSON lines down
+// one persistent reports:stream connection with pipelined acks. The
+// ratio of their reports/s is what the persistent-stream architecture
+// buys at the transport layer.
+func BenchmarkStreamIngest(b *testing.B) {
+	cfg := tafloc.PaperConfig()
+	cfg.RoomW, cfg.RoomH = 3.6, 2.4
+	cfg.Links = 6
+	cfg.SamplesPerCell = 5
+	dep, err := tafloc.NewDeployment(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := tafloc.OpenDeployment(dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := tafloc.NewService(
+		tafloc.WithWindow(4),
+		tafloc.WithZoneQueue(1<<16),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.AddZone("z", sys); err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := svc.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	cli, err := client.New(srv.URL, client.WithHTTPClient(&http.Client{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const preparedBatches = 32
+	var batches [][]client.Report
+	for k := 0; k < preparedBatches; k++ {
+		p := tafloc.Point{X: 0.3 + 3.0*float64(k)/preparedBatches, Y: 0.3 + 1.8*float64(k%7)/7}
+		y := dep.Channel.MeasureLive(p, 0)
+		batch := make([]client.Report, len(y))
+		for i, v := range y {
+			batch[i] = client.Report{Link: i, RSS: v}
+		}
+		batches = append(batches, batch)
+	}
+	reportsPerBatch := len(batches[0])
+
+	b.Run("request", func(b *testing.B) {
+		sent := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n, err := cli.Report(ctx, "z", batches[i%preparedBatches])
+			if err != nil {
+				b.Fatal(err)
+			}
+			sent += n
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "reports/s")
+	})
+
+	b.Run("stream", func(b *testing.B) {
+		st, err := cli.ReportStream(ctx, "z")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Send(batches[i%preparedBatches]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := st.Sync(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		sum, err := st.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := sum.Accepted + sum.Shed; got != uint64(b.N*reportsPerBatch) {
+			b.Fatalf("trailer covers %d reports, want %d", got, b.N*reportsPerBatch)
+		}
+		b.ReportMetric(float64(b.N*reportsPerBatch)/b.Elapsed().Seconds(), "reports/s")
 	})
 }
 

@@ -23,11 +23,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"tafloc/internal/api"
 	"tafloc/taflocerr"
@@ -45,13 +48,16 @@ type (
 	ZoneInfo = api.ZoneInfo
 	// Health is the service health summary.
 	Health = api.Health
+	// TrackPoint is one sample of a zone's smoothed trajectory.
+	TrackPoint = api.TrackPoint
 )
 
 // Client is a typed handle on one TafLoc service. It is safe for
 // concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base       string
+	hc         *http.Client
+	watchRetry *WatchRetry
 }
 
 // Option configures a Client.
@@ -68,6 +74,44 @@ func WithHTTPClient(hc *http.Client) Option {
 		if hc != nil {
 			c.hc = hc
 		}
+	}
+}
+
+// WatchRetry configures automatic reconnection of Watch streams.
+type WatchRetry struct {
+	// Initial is the first reconnect delay (default 100ms).
+	Initial time.Duration
+	// Max caps the exponential backoff (default 5s).
+	Max time.Duration
+	// MaxAttempts bounds consecutive failed reconnect attempts before
+	// the stream is declared lost and its channel closed; 0 retries
+	// forever (until ctx is cancelled).
+	MaxAttempts int
+	// OnRetry, when non-nil, observes every reconnect attempt: the error
+	// that ended the previous connection (or failed the previous
+	// attempt), the 1-based consecutive attempt number, and the delay
+	// before the attempt. It runs on the watch goroutine — keep it fast.
+	OnRetry func(err error, attempt int, delay time.Duration)
+}
+
+// WithWatchRetry makes Watch streams survive connection drops: when the
+// SSE stream ends without a terminal event, the client reconnects with
+// capped exponential backoff and resumes the channel, deduplicating by
+// estimate sequence number. The two stream endings stay
+// distinguishable: a zone removal still delivers a Final estimate
+// before the channel closes (terminal), while a channel that closes
+// without one means the stream was lost for good — retries exhausted or
+// the context cancelled. Without this option a Watch channel simply
+// closes on the first network blip.
+func WithWatchRetry(r WatchRetry) Option {
+	return func(c *Client) {
+		if r.Initial <= 0 {
+			r.Initial = defaultRetryInitial
+		}
+		if r.Max <= 0 {
+			r.Max = defaultRetryMax
+		}
+		c.watchRetry = &r
 	}
 }
 
@@ -120,6 +164,40 @@ func (c *Client) Position(ctx context.Context, zone string) (Estimate, error) {
 	var e Estimate
 	err := c.do(ctx, http.MethodGet, "/v2/zones/"+url.PathEscape(zone)+"/position", nil, &e)
 	return e, err
+}
+
+// Track fetches up to n samples of a zone's smoothed trajectory,
+// oldest first (n <= 0 for everything the server buffers). Each sample
+// carries the Kalman-filtered position, velocity, and uncertainty next
+// to the raw fix it was folded from. Zones with tracking disabled fail
+// with taflocerr.ErrUnsupported.
+func (c *Client) Track(ctx context.Context, zone string, n int) ([]TrackPoint, error) {
+	var tr api.TrackResponse
+	if err := c.do(ctx, http.MethodGet, trackPath(zone, "track", n), nil, &tr); err != nil {
+		return nil, err
+	}
+	return tr.Points, nil
+}
+
+// History fetches up to n of a zone's most recently published
+// estimates, oldest first (n <= 0 for everything the server buffers) —
+// the raw stream the smoothed track is derived from, including absent
+// samples. Zones with history disabled fail with
+// taflocerr.ErrUnsupported.
+func (c *Client) History(ctx context.Context, zone string, n int) ([]Estimate, error) {
+	var hr api.HistoryResponse
+	if err := c.do(ctx, http.MethodGet, trackPath(zone, "history", n), nil, &hr); err != nil {
+		return nil, err
+	}
+	return hr.Estimates, nil
+}
+
+func trackPath(zone, sub string, n int) string {
+	p := "/v2/zones/" + url.PathEscape(zone) + "/" + sub
+	if n > 0 {
+		p += "?n=" + strconv.Itoa(n)
+	}
+	return p
 }
 
 // Report ingests a batch of RSS reports for a zone and returns the
@@ -201,11 +279,44 @@ func (c *Client) RestoreZone(ctx context.Context, zone string, snapshot []byte) 
 // Watch subscribes to a zone's estimate stream over server-sent events.
 // The returned channel yields every estimate the server publishes
 // (starting with the current one, if any) until ctx is cancelled, the
-// connection drops, or the zone is removed — in the removal case the
-// last estimate received has Final set. The channel is always closed
-// when the stream ends; cancelling ctx is the caller's way to
-// unsubscribe.
+// stream ends, or the zone is removed — in the removal case the last
+// estimate received has Final set. The channel is always closed when
+// the stream ends; cancelling ctx is the caller's way to unsubscribe.
+//
+// By default a dropped connection ends the stream. A client built with
+// WithWatchRetry instead reconnects with capped exponential backoff and
+// resumes the channel (estimates already delivered are deduplicated by
+// sequence number); if the zone turns out to have been removed while
+// disconnected, a Final estimate is synthesized so the terminal
+// contract holds across reconnects.
 func (c *Client) Watch(ctx context.Context, zone string) (<-chan Estimate, error) {
+	resp, err := c.watchConnect(ctx, zone)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan Estimate, 16)
+	go func() {
+		defer close(ch)
+		var lastSeq uint64
+		first := true
+		for {
+			sawFinal, delivered := c.pumpSSE(ctx, resp.Body, ch, &lastSeq, first)
+			first = false
+			if sawFinal || ctx.Err() != nil || c.watchRetry == nil {
+				return
+			}
+			// The stream dropped mid-run; reconnect under the retry policy.
+			resp = c.watchReconnect(ctx, zone, ch, delivered)
+			if resp == nil {
+				return
+			}
+		}
+	}()
+	return ch, nil
+}
+
+// watchConnect performs one watch connection attempt.
+func (c *Client) watchConnect(ctx context.Context, zone string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.base+"/v2/zones/"+url.PathEscape(zone)+"/watch", nil)
 	if err != nil {
@@ -220,41 +331,98 @@ func (c *Client) Watch(ctx context.Context, zone string) (<-chan Estimate, error
 		defer resp.Body.Close()
 		return nil, decodeError(resp)
 	}
-	ch := make(chan Estimate, 16)
-	go func() {
-		defer close(ch)
-		defer resp.Body.Close()
-		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 0, 4096), 1<<20)
-		var data string
-		for sc.Scan() {
-			line := sc.Text()
-			switch {
-			case strings.HasPrefix(line, ":"):
-				// SSE comment — the server's idle heartbeat. Not an event;
-				// never surfaces on the channel.
-			case strings.HasPrefix(line, "data: "):
-				data = strings.TrimPrefix(line, "data: ")
-			case line == "" && data != "":
-				var e Estimate
-				if json.Unmarshal([]byte(data), &e) == nil {
-					select {
-					case ch <- e:
-					case <-ctx.Done():
-						return
-					}
-					if e.Final {
-						return
-					}
-				}
-				data = ""
-			}
+	return resp, nil
+}
+
+// watchReconnect runs the capped-backoff reconnect loop after a watch
+// stream drops. It returns the next live response, or nil when the
+// watch is over — retries exhausted, ctx cancelled, or the zone gone
+// (in which case a synthetic Final estimate is delivered first, keeping
+// the removal contract).
+func (c *Client) watchReconnect(ctx context.Context, zone string, ch chan Estimate, everDelivered bool) *http.Response {
+	r := c.watchRetry
+	delay := r.Initial
+	err := errors.New("client: watch stream ended")
+	for attempt := 1; ; attempt++ {
+		if r.MaxAttempts > 0 && attempt > r.MaxAttempts {
+			return nil
 		}
-		// Scanner stops on EOF, connection error, or ctx cancellation
-		// (the transport closes the body); the closed channel is the
-		// termination signal either way.
-	}()
-	return ch, nil
+		if r.OnRetry != nil {
+			r.OnRetry(err, attempt, delay)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(delay):
+		}
+		delay *= 2
+		if delay > r.Max {
+			delay = r.Max
+		}
+		resp, cerr := c.watchConnect(ctx, zone)
+		if cerr == nil {
+			return resp
+		}
+		err = cerr
+		if errors.Is(cerr, taflocerr.ErrUnknownZone) && everDelivered {
+			// The zone was removed while we were away: end the stream the
+			// way an uninterrupted watch would have, with a Final estimate.
+			select {
+			case ch <- Estimate{Zone: zone, Cell: -1, Final: true, Time: time.Now()}:
+			case <-ctx.Done():
+			}
+			return nil
+		}
+	}
+}
+
+// pumpSSE consumes one SSE connection, delivering estimates to ch. The
+// initial snapshot estimate of a reconnect (or anything else already
+// seen) is deduplicated via lastSeq; initial is true on the first
+// connection, where the snapshot estimate is part of the contract.
+// It reports whether a Final estimate ended the stream, and whether any
+// estimate has ever been delivered.
+func (c *Client) pumpSSE(ctx context.Context, body io.ReadCloser, ch chan Estimate, lastSeq *uint64, initial bool) (sawFinal, delivered bool) {
+	defer body.Close()
+	delivered = *lastSeq > 0
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ":"):
+			// SSE comment — the server's idle heartbeat. Not an event;
+			// never surfaces on the channel.
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && data != "":
+			var e Estimate
+			if json.Unmarshal([]byte(data), &e) == nil {
+				if !initial && !e.Final && e.Seq <= *lastSeq {
+					data = ""
+					continue // replayed snapshot estimate after a reconnect
+				}
+				if e.Seq > *lastSeq {
+					*lastSeq = e.Seq
+				}
+				select {
+				case ch <- e:
+					delivered = true
+				case <-ctx.Done():
+					return false, delivered
+				}
+				if e.Final {
+					return true, delivered
+				}
+			}
+			data = ""
+		}
+	}
+	// Scanner stops on EOF, connection error, or ctx cancellation (the
+	// transport closes the body); the caller decides whether that ends
+	// the watch or triggers a reconnect.
+	return false, delivered
 }
 
 // do performs one JSON request/response round trip. A non-2xx response

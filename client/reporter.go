@@ -1,0 +1,335 @@
+package client
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"tafloc/taflocerr"
+)
+
+// Reporter defaults.
+const (
+	defaultReporterBatch    = 64
+	defaultReporterInterval = 100 * time.Millisecond
+	defaultRetryInitial     = 100 * time.Millisecond
+	defaultRetryMax         = 5 * time.Second
+)
+
+// ReporterOption configures a Reporter.
+type ReporterOption func(*reporterConfig)
+
+type reporterConfig struct {
+	batch        int
+	interval     time.Duration
+	retryInitial time.Duration
+	retryMax     time.Duration
+}
+
+// WithReporterBatch sets the buffered-report count that triggers a
+// flush (default 64). A Send that fills the buffer to this size flushes
+// inline.
+func WithReporterBatch(n int) ReporterOption {
+	return func(c *reporterConfig) {
+		if n > 0 {
+			c.batch = n
+		}
+	}
+}
+
+// WithReporterInterval sets how long buffered reports may wait before a
+// background flush pushes them out regardless of batch size (default
+// 100ms); d <= 0 disables the timer, leaving size- and Flush-triggered
+// flushes only.
+func WithReporterInterval(d time.Duration) ReporterOption {
+	return func(c *reporterConfig) { c.interval = d }
+}
+
+// WithReporterRetry sets the capped exponential backoff for reopening
+// the underlying stream after it drops (defaults 100ms initial, 5s
+// cap).
+func WithReporterRetry(initial, max time.Duration) ReporterOption {
+	return func(c *reporterConfig) {
+		if initial > 0 {
+			c.retryInitial = initial
+		}
+		if max > 0 {
+			c.retryMax = max
+		}
+	}
+}
+
+// ReporterStats is a Reporter's cumulative accounting, including every
+// stream incarnation it has been through. Sent counts reports written
+// to a stream; Accepted/Shed/Rejected follow the server's acks (see
+// StreamStats); Dropped counts reports the Reporter discarded locally
+// because the server stayed unreachable and the buffer cap was hit;
+// Retries counts stream reconnects.
+type ReporterStats struct {
+	Buffered int
+	Sent     uint64
+	Accepted uint64
+	Shed     uint64
+	Rejected uint64
+	Dropped  uint64
+	Retries  uint64
+}
+
+// Reporter is the auto-batching produce side of the streaming ingest
+// API: Send buffers individual reports, and the buffer flushes as one
+// NDJSON stream line when it reaches the batch size, when the flush
+// interval elapses, or on an explicit Flush. The underlying
+// ReportStream is reopened with capped exponential backoff when it
+// drops, so a transient server outage costs shed reports (bounded by
+// the local buffer cap), never a wedged producer. It replaces
+// hand-rolled Report loops:
+//
+//	rep, err := cli.NewReporter(ctx, "lobby")
+//	...
+//	rep.Send(reports...)        // buffered, flushed automatically
+//	...
+//	err = rep.Close()           // final flush + summary check
+//
+// A Reporter is safe for concurrent use.
+type Reporter struct {
+	cli  *Client
+	zone string
+	cfg  reporterConfig
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	buf     []Report
+	st      *ReportStream
+	base    ReporterStats // accounting accumulated from dead streams
+	retries uint64
+	dropped uint64
+	nextTry time.Time     // earliest next reconnect attempt
+	backoff time.Duration // current reconnect delay
+	closed  bool
+
+	quit      chan struct{} // closed by Close to stop the flush loop
+	timerDone chan struct{}
+}
+
+// NewReporter opens an auto-batching report stream for one zone. The
+// initial stream is dialled eagerly, so an unknown zone fails here with
+// the taxonomy sentinel. The reporter lives until Close or ctx
+// cancellation.
+func (c *Client) NewReporter(ctx context.Context, zone string, opts ...ReporterOption) (*Reporter, error) {
+	cfg := reporterConfig{
+		batch:        defaultReporterBatch,
+		interval:     defaultReporterInterval,
+		retryInitial: defaultRetryInitial,
+		retryMax:     defaultRetryMax,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	st, err := c.ReportStream(rctx, zone)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	r := &Reporter{cli: c, zone: zone, cfg: cfg, ctx: rctx, cancel: cancel, st: st,
+		quit: make(chan struct{})}
+	if cfg.interval > 0 {
+		r.timerDone = make(chan struct{})
+		go r.flushLoop()
+	}
+	return r, nil
+}
+
+// Send buffers reports for the zone; a buffer reaching the batch size
+// flushes inline. Send only fails once the reporter is closed or its
+// context cancelled — transport trouble is absorbed by the
+// reconnect/shed machinery and surfaces in Stats and Close.
+func (r *Reporter) Send(reports ...Report) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return taflocerr.Errorf(taflocerr.CodeBadRequest, "client: reporter for %s is closed", r.zone)
+	}
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	r.buf = append(r.buf, reports...)
+	// Cap the buffer at a few batches: when the server is unreachable,
+	// old reports are stale data, not a backlog worth keeping.
+	if limit := 8 * r.cfg.batch; len(r.buf) > limit {
+		drop := len(r.buf) - limit
+		r.dropped += uint64(drop)
+		r.buf = append(r.buf[:0], r.buf[drop:]...)
+	}
+	if len(r.buf) >= r.cfg.batch {
+		r.flushLocked()
+	}
+	return nil
+}
+
+// Flush pushes the buffered reports out now and waits until the server
+// has acked everything sent so far, so Stats afterwards reflects the
+// server's verdict on every report. It returns the stream error when
+// the stream is down (the buffered reports stay queued for the next
+// reconnect).
+func (r *Reporter) Flush(ctx context.Context) error {
+	r.mu.Lock()
+	r.flushLocked()
+	st := r.st
+	r.mu.Unlock()
+	if st == nil {
+		return taflocerr.Errorf(taflocerr.CodeInternal, "client: reporter stream for %s is down", r.zone)
+	}
+	return st.Sync(ctx)
+}
+
+// Stats returns the reporter's cumulative accounting.
+func (r *Reporter) Stats() ReporterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.base
+	if r.st != nil {
+		s := r.st.Stats()
+		out.Sent += s.Reports
+		out.Accepted += s.Accepted
+		out.Shed += s.Shed
+		out.Rejected += s.Rejected
+	}
+	out.Buffered = len(r.buf)
+	out.Dropped = r.dropped
+	out.Retries = r.retries
+	return out
+}
+
+// Close flushes the buffer, ends the stream, and returns the first
+// stream error (nil on a clean shutdown with a server trailer). If the
+// stream is down and cannot be flushed, the buffered reports are
+// counted into Dropped and Close reports the failure rather than
+// pretending the shutdown was clean. Close is idempotent; repeated
+// calls return nil.
+func (r *Reporter) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.flushLocked()
+	// A non-empty buffer here means the stream is down and the final
+	// reconnect failed: those reports are lost, and say so.
+	lost := len(r.buf)
+	r.dropped += uint64(lost)
+	r.buf = nil
+	st := r.st
+	r.st = nil
+	r.mu.Unlock()
+	close(r.quit)
+	if r.timerDone != nil {
+		<-r.timerDone
+	}
+	var err error
+	if st != nil {
+		var sum StreamSummary
+		sum, err = st.Close()
+		s := st.Stats()
+		r.mu.Lock()
+		r.base.Sent += s.Reports
+		if err == nil {
+			// The trailer is the server's authoritative accounting.
+			r.base.Accepted += sum.Accepted
+			r.base.Shed += sum.Shed
+			r.base.Rejected += sum.Rejected
+		} else {
+			// No trailer — fall back to the ack-derived client counts so
+			// already-acked reports do not vanish from Stats.
+			r.base.Accepted += s.Accepted
+			r.base.Shed += s.Shed
+			r.base.Rejected += s.Rejected
+		}
+		r.mu.Unlock()
+	}
+	r.cancel()
+	if err == nil && lost > 0 {
+		err = taflocerr.Errorf(taflocerr.CodeInternal,
+			"client: reporter for %s closed with the stream down; %d buffered reports dropped", r.zone, lost)
+	}
+	return err
+}
+
+// flushLocked writes the buffer as one stream line, reconnecting the
+// stream first if it died (subject to the backoff schedule). On an
+// unreachable server the buffer is retained for the next attempt —
+// bounded by the Send-side cap. Caller holds r.mu.
+func (r *Reporter) flushLocked() {
+	if len(r.buf) == 0 {
+		return
+	}
+	if r.st == nil && !r.reconnectLocked() {
+		return
+	}
+	batch := r.buf
+	r.buf = nil
+	if err := r.st.Send(batch); err != nil {
+		// The stream died under us. Fold its accounting into the base,
+		// drop it, and keep the batch buffered for the reconnect.
+		s := r.st.Stats()
+		r.base.Sent += s.Reports
+		r.base.Accepted += s.Accepted
+		r.base.Shed += s.Shed
+		r.base.Rejected += s.Rejected
+		go func(st *ReportStream) { _, _ = st.Close() }(r.st)
+		r.st = nil
+		r.buf = append(batch, r.buf...)
+	}
+}
+
+// reconnectLocked reopens the stream if the backoff schedule allows,
+// reporting whether a live stream exists afterwards. Caller holds r.mu.
+func (r *Reporter) reconnectLocked() bool {
+	now := time.Now()
+	if now.Before(r.nextTry) {
+		return false
+	}
+	if r.backoff == 0 {
+		r.backoff = r.cfg.retryInitial
+	}
+	r.retries++
+	st, err := r.cli.ReportStream(r.ctx, r.zone)
+	if err != nil {
+		r.nextTry = now.Add(r.backoff)
+		r.backoff *= 2
+		if r.backoff > r.cfg.retryMax {
+			r.backoff = r.cfg.retryMax
+		}
+		return false
+	}
+	r.st = st
+	r.backoff = 0
+	r.nextTry = time.Time{}
+	return true
+}
+
+// flushLoop is the interval flusher.
+func (r *Reporter) flushLoop() {
+	defer close(r.timerDone)
+	ticker := time.NewTicker(r.cfg.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-r.quit:
+			return
+		case <-ticker.C:
+			r.mu.Lock()
+			if r.closed {
+				r.mu.Unlock()
+				return
+			}
+			r.flushLocked()
+			r.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tafloc/internal/geom"
+	"tafloc/taflocerr"
+)
+
+// TestReportStreamEndToEnd drives the NDJSON ingest stream against a
+// real service: batches go out, per-line acks come back, the zone
+// publishes, and the trailer's accounting matches the client's.
+func TestReportStreamEndToEnd(t *testing.T) {
+	f, _ := newFixture(t)
+	ctx := context.Background()
+
+	st, err := f.cli.ReportStream(ctx, "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := geom.Point{X: 1.5, Y: 1.2}
+	const lines = 10
+	sent := 0
+	for i := 0; i < lines; i++ {
+		b := batch(f.dep, target)
+		sent += len(b)
+		if err := st.Send(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.Lines != lines || stats.Acked != lines {
+		t.Errorf("stats %+v, want %d lines acked", stats, lines)
+	}
+	if stats.Accepted+stats.Shed != uint64(sent) || stats.Rejected != 0 {
+		t.Errorf("stats %+v do not cover %d sent reports", stats, sent)
+	}
+	sum, err := st.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Lines != lines || sum.Reports != uint64(sent) ||
+		sum.Accepted != stats.Accepted || sum.Shed != stats.Shed {
+		t.Errorf("trailer %+v disagrees with client stats %+v", sum, stats)
+	}
+
+	// The zone actually consumed the stream: an estimate appears.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := f.cli.Position(ctx, "z"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no estimate from streamed reports")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Unknown zones are refused at open, with the sentinel.
+	if _, err := f.cli.ReportStream(ctx, "nope"); !errors.Is(err, taflocerr.ErrUnknownZone) {
+		t.Errorf("stream to unknown zone: %v", err)
+	}
+}
+
+// TestReporterBatchesAndFlushes checks the auto-batching layer: sends
+// buffer, the batch threshold flushes, Flush syncs acks, and Close
+// returns cleanly with consistent accounting.
+func TestReporterBatchesAndFlushes(t *testing.T) {
+	f, _ := newFixture(t)
+	ctx := context.Background()
+
+	rep, err := f.cli.NewReporter(ctx, "z",
+		WithReporterBatch(12), WithReporterInterval(0)) // no timer: deterministic flush points
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := geom.Point{X: 1.2, Y: 0.9}
+	b := batch(f.dep, target) // 6 reports per batch in the fixture
+	if err := rep.Send(b...); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Stats(); got.Buffered != len(b) || got.Sent != 0 {
+		t.Errorf("after one send: %+v, want %d buffered and nothing sent", got, len(b))
+	}
+	// Second send crosses the threshold and flushes inline.
+	if err := rep.Send(b...); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Stats(); got.Buffered != 0 || got.Sent != uint64(2*len(b)) {
+		t.Errorf("after threshold: %+v, want 0 buffered, %d sent", got, 2*len(b))
+	}
+
+	// A partial buffer flushes on demand, and Flush waits for the acks.
+	if err := rep.Send(b...); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Stats()
+	if got.Buffered != 0 || got.Sent != uint64(3*len(b)) {
+		t.Errorf("after Flush: %+v", got)
+	}
+	if got.Accepted+got.Shed+got.Rejected != got.Sent {
+		t.Errorf("accounting leak after sync: %+v", got)
+	}
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := rep.Send(b...); err == nil {
+		t.Error("Send after Close succeeded")
+	}
+	final := rep.Stats()
+	if final.Sent != uint64(3*len(b)) || final.Accepted+final.Shed+final.Rejected != final.Sent {
+		t.Errorf("final stats %+v", final)
+	}
+}
+
+// TestReporterSurvivesServerRestart: killing the connection under a
+// reporter must not wedge it — buffered reports flow again after the
+// reconnect, with Retries counting the reopen.
+func TestReporterSurvivesServerRestart(t *testing.T) {
+	f, _ := newFixture(t)
+	ctx := context.Background()
+
+	rep, err := f.cli.NewReporter(ctx, "z",
+		WithReporterBatch(6), WithReporterInterval(10*time.Millisecond),
+		WithReporterRetry(5*time.Millisecond, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	target := geom.Point{X: 1.5, Y: 1.2}
+	b := batch(f.dep, target)
+	if err := rep.Send(b...); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill every open connection; the reporter's stream dies mid-life.
+	f.srv.CloseClientConnections()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_ = rep.Send(b...)
+		st := rep.Stats()
+		if st.Retries > 0 && st.Accepted > uint64(len(b)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reporter never recovered: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

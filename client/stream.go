@@ -1,0 +1,258 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+
+	"tafloc/internal/api"
+	"tafloc/taflocerr"
+)
+
+// StreamSummary is the server's end-of-stream accounting trailer.
+type StreamSummary = api.StreamSummary
+
+// StreamStats is a ReportStream's client-side accounting, derived from
+// the per-line acks. Lines counts batches written and Acked how many of
+// them the server has acknowledged so far (acks trail writes — the
+// stream is pipelined). Reports counts reports written;
+// Accepted/Shed/Rejected split the acked ones by outcome: accepted into
+// the zone's queue, shed on a full queue (back off), or rejected by
+// validation.
+type StreamStats struct {
+	Lines    uint64
+	Acked    uint64
+	Reports  uint64
+	Accepted uint64
+	Shed     uint64
+	Rejected uint64
+}
+
+// ReportStream is one persistent NDJSON ingest stream
+// (POST /v2/zones/{id}/reports:stream): batches go out as lines with
+// Send, acks come back asynchronously and accumulate in Stats, and
+// Close ends the stream and returns the server's summary trailer.
+// Unlike per-request Report calls, a stream pays connection and header
+// overhead once and pipelines batches — Send does not wait for the ack.
+//
+// A ReportStream is safe for concurrent use.
+type ReportStream struct {
+	zone string
+	pw   *io.PipeWriter
+	body io.ReadCloser
+
+	// sendMu orders concurrent Sends: the pending-FIFO append and the
+	// wire write must happen atomically with respect to other Sends, or
+	// ack attribution (which pops pending in wire order) would skew.
+	// It is never held while waiting on acks, so it cannot deadlock
+	// against a server that stops reading until its acks are drained.
+	sendMu sync.Mutex
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast on every ack and on reader exit
+	stats   StreamStats
+	pending []int // report counts of sent-but-unacked lines, FIFO
+	summary *StreamSummary
+	err     error // first transport/protocol error, sticky
+	closed  bool  // Send-side closed
+	done    bool  // ack reader exited
+}
+
+// ReportStream opens a persistent ingest stream for one zone. The
+// stream lives until Close (or ctx cancellation); the returned error
+// carries the taxonomy sentinel when the server refuses the stream
+// (e.g. taflocerr.ErrUnknownZone).
+func (c *Client) ReportStream(ctx context.Context, zone string) (*ReportStream, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v2/zones/"+url.PathEscape(zone)+"/reports:stream", pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		pw.Close()
+		return nil, fmt.Errorf("client: report stream %s: %w", zone, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		pw.Close()
+		return nil, decodeError(resp)
+	}
+	st := &ReportStream{zone: zone, pw: pw, body: resp.Body}
+	st.cond = sync.NewCond(&st.mu)
+	go st.readAcks()
+	return st, nil
+}
+
+// Send writes one batch as a stream line. It returns as soon as the
+// line is on the wire — the ack arrives asynchronously and lands in
+// Stats. A Send after the stream has failed (or been closed) returns
+// the sticky stream error; the batch is the caller's to retry
+// elsewhere.
+func (st *ReportStream) Send(batch []Report) error {
+	data, err := json.Marshal(batch)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	st.sendMu.Lock()
+	defer st.sendMu.Unlock()
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return taflocerr.Errorf(taflocerr.CodeBadRequest, "client: report stream %s is closed", st.zone)
+	}
+	if st.err != nil {
+		err := st.err
+		st.mu.Unlock()
+		return err
+	}
+	st.stats.Lines++
+	st.stats.Reports += uint64(len(batch))
+	st.pending = append(st.pending, len(batch))
+	st.mu.Unlock()
+	// The pipe write blocks until the transport consumes the line — the
+	// connection itself is the backpressure. sendMu keeps it in the same
+	// order as the pending append above.
+	if _, err := st.pw.Write(data); err != nil {
+		st.fail(fmt.Errorf("client: report stream %s: %w", st.zone, err))
+		return err
+	}
+	return nil
+}
+
+// Sync blocks until every line written so far has been acked (or the
+// stream fails, or ctx is cancelled). After a nil return, Stats
+// reflects the server's verdict on everything sent.
+func (st *ReportStream) Sync(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		st.mu.Lock()
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	})
+	defer stop()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for st.stats.Acked < st.stats.Lines {
+		if st.err != nil {
+			return st.err
+		}
+		if st.done {
+			return fmt.Errorf("client: report stream %s ended with %d of %d acks",
+				st.zone, st.stats.Acked, st.stats.Lines)
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		st.cond.Wait()
+	}
+	return st.err
+}
+
+// Stats returns the stream's current client-side accounting.
+func (st *ReportStream) Stats() StreamStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
+}
+
+// Close ends the stream: the request body is closed (the server's
+// signal to finish), the remaining acks and the summary trailer are
+// read, and the trailer is returned. Close reports the first stream
+// error, if any; a nil error means every line was acked and the trailer
+// received. Close is idempotent.
+func (st *ReportStream) Close() (StreamSummary, error) {
+	st.mu.Lock()
+	if !st.closed {
+		st.closed = true
+		st.mu.Unlock()
+		st.pw.Close()
+		st.mu.Lock()
+	}
+	for !st.done {
+		st.cond.Wait()
+	}
+	defer st.mu.Unlock()
+	if st.summary != nil {
+		return *st.summary, st.err
+	}
+	err := st.err
+	if err == nil {
+		err = fmt.Errorf("client: report stream %s ended without a trailer", st.zone)
+	}
+	return StreamSummary{}, err
+}
+
+// fail latches the first stream error and wakes waiters.
+func (st *ReportStream) fail(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// readAcks consumes the response: one ack line per sent line, then the
+// trailer. It classifies every ack into the stream stats and exits on
+// the trailer, EOF, or a transport error.
+func (st *ReportStream) readAcks() {
+	defer func() {
+		st.body.Close()
+		st.mu.Lock()
+		st.done = true
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(st.body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ack api.StreamAck
+		if err := json.Unmarshal(line, &ack); err != nil {
+			st.fail(fmt.Errorf("client: report stream %s: bad ack line: %w", st.zone, err))
+			return
+		}
+		if ack.Trailer != nil {
+			st.mu.Lock()
+			st.summary = ack.Trailer
+			st.cond.Broadcast()
+			st.mu.Unlock()
+			return
+		}
+		st.mu.Lock()
+		st.stats.Acked++
+		// Acks arrive in send order, so the oldest pending line is the
+		// one this ack answers; its report count sizes shed/reject.
+		n := 0
+		if len(st.pending) > 0 {
+			n = st.pending[0]
+			st.pending = st.pending[1:]
+		}
+		switch {
+		case ack.Code == "":
+			st.stats.Accepted += uint64(ack.Accepted)
+		case ack.Code == taflocerr.CodeQueueFull:
+			st.stats.Shed += uint64(n)
+		default:
+			st.stats.Rejected += uint64(n)
+		}
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		st.fail(fmt.Errorf("client: report stream %s: %w", st.zone, err))
+	}
+}

@@ -9,8 +9,11 @@
 // Endpoints (see docs/API.md for the full protocol):
 //
 //	POST   /v1/report, /v2/report       ingest a batch of RSS reports
+//	POST   /v2/zones/{id}/reports:stream persistent NDJSON ingest stream
 //	GET    /v1/zones, /v2/zones         list zone IDs
 //	GET    /v{1,2}/zones/{id}/position  latest estimate for a zone
+//	GET    /v2/zones/{id}/track         smoothed trajectory + velocity
+//	GET    /v2/zones/{id}/history       raw published-estimate history
 //	POST   /v2/zones/{id}               create a zone at runtime (ZoneSpec body)
 //	DELETE /v2/zones/{id}               remove a zone at runtime
 //	GET    /v2/zones/{id}/watch         stream estimates over SSE
@@ -288,10 +291,23 @@ func dialableURL(addr net.Addr) string {
 }
 
 // simulateZone walks a target on a Lissajous path through the zone and
-// feeds one report batch per tick through the client SDK. Each zone has
-// its own deployment, so the (non-concurrency-safe) channel sampler is
-// only touched here.
+// feeds its RSS samples through a client.Reporter: one persistent
+// NDJSON ingest stream per zone instead of one HTTP round trip per
+// tick, with batching, shedding, and reconnects handled by the SDK.
+// Each zone has its own deployment, so the (non-concurrency-safe)
+// channel sampler is only touched here.
 func simulateZone(ctx context.Context, cli *client.Client, dep *tafloc.Deployment, id string, days float64, interval time.Duration) {
+	m := dep.Channel.M()
+	rep, err := cli.NewReporter(ctx, id,
+		// Flush once per tick's worth of samples so estimate latency
+		// matches the old per-request behavior.
+		client.WithReporterBatch(m),
+		client.WithReporterInterval(interval))
+	if err != nil {
+		log.Printf("simulator %s: %v", id, err)
+		return
+	}
+	defer rep.Close()
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	t := 0.0
@@ -311,9 +327,9 @@ func simulateZone(ctx context.Context, cli *client.Client, dep *tafloc.Deploymen
 		for i, v := range y {
 			batch[i] = client.Report{Link: i, RSS: v}
 		}
-		// Shed silently on overload: the service's bounded queues are the
-		// backpressure mechanism, and the zone may have been removed over
-		// the API.
-		_, _ = cli.Report(ctx, id, batch)
+		// Overload and removal both surface as shed/rejected counts in
+		// the reporter's stats, not errors: the service's bounded queues
+		// are the backpressure mechanism.
+		_ = rep.Send(batch...)
 	}
 }

@@ -84,15 +84,22 @@ func main() {
 		log.Fatal(err)
 	}
 	target := tafloc.Point{X: 0.4 * dep.Grid.Width, Y: 0.6 * dep.Grid.Height}
+	rep, err := cli.NewReporter(ctx, "arena")
+	if err != nil {
+		log.Fatal(err)
+	}
 	for s := 0; s < 8; s++ {
 		y := dep.Channel.MeasureLive(target, 0)
 		batch := make([]client.Report, len(y))
 		for i, v := range y {
 			batch[i] = client.Report{Link: i, RSS: v}
 		}
-		if _, err := cli.Report(ctx, "arena", batch); err != nil {
+		if err := rep.Send(batch...); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if err := rep.Close(); err != nil {
+		log.Fatal(err)
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for {

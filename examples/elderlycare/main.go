@@ -5,10 +5,11 @@
 //
 // Both systems run as zones of one multi-zone service ("maintained" and
 // "neglected"), and the whole experiment is driven through the typed
-// client SDK over a real HTTP connection: the resident's RSS reports go
-// in through cli.Report and the weekly tracking error is read back from
-// cli.Position — showing how the periodic cheap updates hold accuracy
-// while the stale database decays.
+// client SDK over a real HTTP connection: the resident's RSS reports
+// flow in through a client.Reporter (one persistent NDJSON ingest
+// stream per zone, auto-batched) and the weekly tracking error is read
+// back from cli.Position — showing how the periodic cheap updates hold
+// accuracy while the stale database decays.
 //
 // Run with -short for a reduced deployment and fewer weeks (CI mode).
 package main
@@ -85,8 +86,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// One persistent ingest stream per zone; the reporter batches the
+	// win samples of each waypoint into single NDJSON lines.
+	zones := []string{"maintained", "neglected"}
+	reporters := map[string]*client.Reporter{}
+	for _, zone := range zones {
+		rep, err := cli.NewReporter(ctx, zone)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rep.Close()
+		reporters[zone] = rep
+	}
+
 	totalCost := 0.0
-	sent := map[string]uint64{} // cumulative reports per zone
 
 	fmt.Println("week  maintained_err_m  neglected_err_m  update")
 	for week := 1; week <= weeks; week++ {
@@ -121,23 +134,29 @@ func main() {
 				for i, v := range y {
 					batch[i] = client.Report{Link: i, RSS: v}
 				}
-				for _, zone := range []string{"maintained", "neglected"} {
-					if _, err := cli.Report(ctx, zone, batch); err != nil {
+				for _, zone := range zones {
+					if err := reporters[zone].Send(batch...); err != nil {
 						log.Fatal(err)
 					}
-					sent[zone] += uint64(len(batch))
 				}
 			}
-			em, err := settledPosition(ctx, cli, "maintained", sent["maintained"])
-			if err != nil {
-				log.Fatal(err)
+			// Flush forces the waypoint's buffered samples out and waits
+			// for the server's acks, so Stats().Accepted is exact and the
+			// settle check below cannot race the stream.
+			var errs [2]float64
+			for zi, zone := range zones {
+				rep := reporters[zone]
+				if err := rep.Flush(ctx); err != nil {
+					log.Fatal(err)
+				}
+				est, err := settledPosition(ctx, cli, zone, rep.Stats().Accepted)
+				if err != nil {
+					log.Fatal(err)
+				}
+				errs[zi] = est.Point.Dist(p) / float64(steps)
 			}
-			en, err := settledPosition(ctx, cli, "neglected", sent["neglected"])
-			if err != nil {
-				log.Fatal(err)
-			}
-			errMaintained += em.Point.Dist(p) / float64(steps)
-			errNeglected += en.Point.Dist(p) / float64(steps)
+			errMaintained += errs[0]
+			errNeglected += errs[1]
 		}
 		fmt.Printf("%4d  %16.2f  %15.2f  %s\n", week, errMaintained, errNeglected, updated)
 	}

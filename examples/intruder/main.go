@@ -1,8 +1,10 @@
 // Command intruder runs the full networked pipeline on localhost: a
 // collector listens on UDP/TCP, simulated link agents stream RSS report
-// frames, the collector's sink feeds the multi-zone service, and the
-// service is watched through the typed client SDK — alerts arrive as
-// streamed position estimates over the /v2 SSE watch, the paper's
+// frames, the collector's batch sink feeds the multi-zone service
+// through the shared Ingestor path, and the service is watched through
+// the typed client SDK — alerts arrive as streamed position estimates
+// over the /v2 SSE watch, with the smoothed trajectory (position,
+// velocity) read back from /v2/zones/{id}/track: the paper's
 // intruder-detection motivation end to end. When the demo window
 // closes, the zone is removed over the API and the watch stream ends
 // with its terminal event.
@@ -15,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"sync"
@@ -64,15 +67,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Start the collector on loopback and forward every decoded frame
-	// into the service.
+	// Start the collector on loopback and forward every decoded datagram
+	// batch into the service's shared ingest path.
 	col, err := tafloc.NewCollector(dep.Channel.M(), 8)
 	if err != nil {
 		log.Fatal(err)
 	}
-	col.SetSink(func(r tafloc.RSSReport) {
-		_ = svc.Report("room", []tafloc.ZoneReport{tafloc.ReportFromWire(&r)})
-	})
+	col.SetBatchSink(tafloc.IngestSink(svc, "room"))
 	dataAddr, ctrlAddr, err := col.Start(ctx, "127.0.0.1:0", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -170,6 +171,14 @@ func main() {
 		truth, _ := intruderAt()
 		fmt.Printf("ALERT t=%4.1fs deviation %.2f dB -> intruder near %v (truth %v, err %.2f m)\n",
 			time.Since(start).Seconds(), est.DeviationDB, est.Point, truth, est.Point.Dist(truth))
+		// The smoothed trajectory adds what a raw estimate cannot: where
+		// the intruder is heading and how fast.
+		if pts, err := cli.Track(ctx, "room", 1); err == nil && len(pts) == 1 {
+			tp := pts[0]
+			speed := math.Hypot(tp.Velocity.X, tp.Velocity.Y)
+			fmt.Printf("      track: smoothed %v moving %.2f m/s (±%.2f m)\n",
+				tp.Point, speed, tp.PosStd)
+		}
 	}
 	cancel()
 	wg.Wait()

@@ -123,13 +123,20 @@ func main() {
 		log.Fatal(err)
 	}
 	go func() {
+		// The auto-batching reporter streams the samples over one
+		// persistent NDJSON connection instead of 24 HTTP round trips.
+		rep, err := cli.NewReporter(watchCtx, "room")
+		if err != nil {
+			return
+		}
+		defer rep.Close()
 		for i := 0; i < 24; i++ {
 			batch := make([]client.Report, len(y))
 			live := dep.Channel.MeasureLive(target, days)
 			for j, v := range live {
 				batch[j] = client.Report{Link: j, RSS: v}
 			}
-			if _, err := cli.Report(watchCtx, "room", batch); err != nil {
+			if err := rep.Send(batch...); err != nil {
 				return
 			}
 		}

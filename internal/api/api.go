@@ -131,6 +131,85 @@ type Health struct {
 	Zones   int                  `json:"zones"`
 	UptimeS float64              `json:"uptime_s"`
 	Stats   map[string]ZoneStats `json:"stats"`
+	// Streams is the number of NDJSON report streams currently open
+	// against the service.
+	Streams int `json:"streams,omitempty"`
+}
+
+// StreamAck is one response line of the NDJSON report stream
+// (POST /v2/zones/{id}/reports:stream). Regular lines acknowledge one
+// request line: Seq is the 1-based request line number, and either
+// Accepted carries the number of reports taken into the zone's queue or
+// Code/Error classify why the line's batch was not (queue_full for a
+// shed batch, bad_link / bad_request for a rejected one — the stream
+// itself continues either way). The final line of every stream carries
+// Trailer instead: the summary the server writes before ending the
+// response, whether the stream ended by client EOF, zone removal, or a
+// malformed-beyond-recovery request.
+type StreamAck struct {
+	Seq      uint64         `json:"seq,omitempty"`
+	Accepted int            `json:"accepted,omitempty"`
+	Code     taflocerr.Code `json:"code,omitempty"`
+	Error    string         `json:"error,omitempty"`
+	Trailer  *StreamSummary `json:"trailer,omitempty"`
+}
+
+// StreamSummary is the trailer of an NDJSON report stream: cumulative
+// accounting over the whole stream. Reports = Accepted + Shed +
+// Rejected always holds (a line that fails to parse contributes to
+// Lines only).
+type StreamSummary struct {
+	// Lines is the number of request lines read.
+	Lines uint64 `json:"lines"`
+	// Reports is the number of reports parsed from them.
+	Reports uint64 `json:"reports"`
+	// Accepted counts reports accepted into the zone's queue.
+	Accepted uint64 `json:"accepted"`
+	// Shed counts reports shed because the zone's bounded queue was full
+	// (the stream's backpressure signal — slow down or retry later).
+	Shed uint64 `json:"shed"`
+	// Rejected counts reports in batches rejected by validation (an
+	// out-of-range link index, or the zone disappearing mid-stream).
+	Rejected uint64 `json:"rejected"`
+}
+
+// TrackPoint is one sample of a zone's smoothed trajectory: the raw
+// published estimate plus the trajectory filter's state after folding
+// it. Point/Velocity/PosStd come from the constant-velocity Kalman
+// filter (internal/track); Accepted is false when the fix failed the
+// innovation gate and the filter coasted on its motion model instead.
+type TrackPoint struct {
+	// Seq is the published estimate's sequence number, so track points
+	// join against the raw history stream.
+	Seq uint64 `json:"seq"`
+	// Time is when the underlying estimate was published.
+	Time time.Time `json:"time"`
+	// Cell is the raw best-matching grid cell.
+	Cell int `json:"cell"`
+	// Raw is the unsmoothed position estimate in metres.
+	Raw geom.Point `json:"raw"`
+	// Point is the smoothed position in metres.
+	Point geom.Point `json:"point"`
+	// Velocity is the estimated velocity in metres per second.
+	Velocity geom.Point `json:"velocity"`
+	// PosStd is the 1-sigma position uncertainty in metres.
+	PosStd float64 `json:"pos_std"`
+	// Accepted reports whether the fix passed the innovation gate.
+	Accepted bool `json:"accepted"`
+}
+
+// TrackResponse is the body of GET /v2/zones/{id}/track.
+type TrackResponse struct {
+	Zone string `json:"zone"`
+	// Points is the smoothed trajectory, oldest first.
+	Points []TrackPoint `json:"points"`
+}
+
+// HistoryResponse is the body of GET /v2/zones/{id}/history.
+type HistoryResponse struct {
+	Zone string `json:"zone"`
+	// Estimates is the raw published-estimate history, oldest first.
+	Estimates []Estimate `json:"estimates"`
 }
 
 // ErrorBody is the error response shape of the /v2 endpoints: the /v1

@@ -17,13 +17,14 @@ import (
 type Collector struct {
 	Store *Store
 
-	log      *slog.Logger
-	sink     func(wire.RSSReport)
-	udpConn  *net.UDPConn
-	tcpLis   net.Listener
-	wg       sync.WaitGroup
-	cancelMu sync.Mutex
-	cancel   context.CancelFunc
+	log       *slog.Logger
+	sink      func(wire.RSSReport)
+	batchSink func([]wire.RSSReport)
+	udpConn   *net.UDPConn
+	tcpLis    net.Listener
+	wg        sync.WaitGroup
+	cancelMu  sync.Mutex
+	cancel    context.CancelFunc
 }
 
 // New builds a collector for m links with the given live window.
@@ -45,6 +46,15 @@ func New(m, window int, log *slog.Logger) (*Collector, error) {
 // fast and non-blocking (e.g. enqueue into a bounded queue and shed on
 // overflow).
 func (c *Collector) SetSink(fn func(wire.RSSReport)) { c.sink = fn }
+
+// SetBatchSink registers fn to receive each datagram's successfully
+// decoded frames as one slice — the batch-preserving counterpart of
+// SetSink, made to pair with serve.IngestSink so a whole UDP batch
+// datagram travels the serving layer's shared ingest path as one batch.
+// It must be called before Start. The slice is reused between
+// datagrams: fn must not retain it past the call. Like SetSink, fn runs
+// on the UDP read loop and must be fast and non-blocking.
+func (c *Collector) SetBatchSink(fn func([]wire.RSSReport)) { c.batchSink = fn }
 
 // Start binds the UDP data plane and TCP control plane on the given
 // addresses ("127.0.0.1:0" picks free ports) and launches the serving
@@ -96,6 +106,7 @@ func (c *Collector) serveUDP() {
 	defer c.wg.Done()
 	buf := make([]byte, 65536)
 	var report wire.RSSReport
+	var frames []wire.RSSReport // per-datagram batch, reused across reads
 	for {
 		n, _, err := c.udpConn.ReadFromUDP(buf)
 		if err != nil {
@@ -111,6 +122,7 @@ func (c *Collector) serveUDP() {
 		// corrupt frame costs exactly one frame: resync at the next
 		// boundary and salvage the rest of the batch.
 		data := buf[:n]
+		frames = frames[:0]
 		for len(data) > 0 {
 			if len(data) < wire.FrameSize {
 				c.Store.MarkDropped() // runt datagram or trailing partial frame
@@ -123,8 +135,14 @@ func (c *Collector) serveUDP() {
 				if c.sink != nil {
 					c.sink(report)
 				}
+				if c.batchSink != nil {
+					frames = append(frames, report)
+				}
 			}
 			data = data[wire.FrameSize:]
+		}
+		if c.batchSink != nil && len(frames) > 0 {
+			c.batchSink(frames)
 		}
 	}
 }

@@ -10,6 +10,14 @@
 // zone's match query once per batch rather than once per report, so a
 // burst of traffic costs one localization instead of dozens.
 //
+// Every report transport converges on one ingestion surface, the
+// Ingestor interface (implemented by *Service.Ingest): in-process
+// callers, the UDP collector forwarding batch datagrams through
+// IngestSink, the per-request POST /v2/report handler, and the
+// persistent NDJSON stream endpoint all share the same validation,
+// bounded-queue load shedding, and per-zone counters — a batch is
+// counted and shed identically no matter how it arrived.
+//
 // Position queries never touch the ingest path: the most recent estimate
 // of every zone lives in a read-mostly snapshot behind an atomic pointer.
 // Publishing an estimate copies the snapshot (copy-on-write, serialized
@@ -40,18 +48,30 @@
 //	GET  /v1/healthz             service liveness and per-zone counters
 //
 // And the /v2 routes, which add taflocerr error codes on every failure,
-// runtime zone lifecycle, a server-sent-events watch stream, and
-// deployment snapshots:
+// runtime zone lifecycle, streaming ingest, trajectory queries, a
+// server-sent-events watch stream, and deployment snapshots:
 //
 //	POST   /v2/report              as /v1, but a bad link index is 422 + code
+//	POST   /v2/zones/{id}/reports:stream  persistent NDJSON ingest: one batch per
+//	                               line, per-line acks, summary trailer (docs/API.md)
 //	GET    /v2/zones               sorted zone IDs
 //	POST   /v2/zones/{id}          create a zone via the configured ZoneFactory
 //	DELETE /v2/zones/{id}          remove a zone at runtime
 //	GET    /v2/zones/{id}/position the zone's latest estimate
+//	GET    /v2/zones/{id}/track    smoothed trajectory + velocity (?n=K samples)
+//	GET    /v2/zones/{id}/history  raw published-estimate ring (?n=K samples)
 //	GET    /v2/zones/{id}/watch    SSE estimate stream (see docs/API.md)
 //	GET    /v2/zones/{id}/snapshot export the calibrated deployment (binary)
 //	PUT    /v2/zones/{id}/snapshot warm-start a zone from an uploaded snapshot
 //	GET    /v2/healthz             liveness and per-zone counters
+//
+// Trajectories are first-class: each zone's publish path appends every
+// estimate to a bounded history ring and folds present fixes through a
+// constant-velocity Kalman filter (internal/track), so /track serves a
+// smoothed path with velocity — what the paper's motivating
+// applications (elderly care, intruder tracking) actually consume — and
+// the filter state travels inside zone snapshots, so a warm-restarted
+// zone resumes its track.
 //
 // Zones persist across restarts: SnapshotZone/RestoreZone round-trip a
 // zone's calibrated deployment (and its per-zone serve config) through

@@ -20,10 +20,13 @@ import (
 // a taxonomy code.
 //
 //	POST   /v2/report             ingest a batch (422 + code bad_link on a bad link index)
+//	POST   /v2/zones/{id}/reports:stream  persistent NDJSON ingest (per-line acks + trailer)
 //	GET    /v2/zones              sorted zone IDs
 //	POST   /v2/zones/{id}         create a zone via the configured ZoneFactory
 //	DELETE /v2/zones/{id}         remove a zone at runtime
 //	GET    /v2/zones/{id}/position latest estimate
+//	GET    /v2/zones/{id}/track   smoothed trajectory + velocity (?n=K)
+//	GET    /v2/zones/{id}/history raw published-estimate history (?n=K)
 //	GET    /v2/zones/{id}/watch   SSE stream of estimates
 //	GET    /v2/zones/{id}/snapshot export the zone's calibrated deployment (binary)
 //	PUT    /v2/zones/{id}/snapshot warm-start a zone from an uploaded snapshot
@@ -74,7 +77,7 @@ func (s *Service) handleZoneV2(w http.ResponseWriter, r *http.Request) {
 	id, sub, _ := strings.Cut(rest, "/")
 	if id == "" {
 		errorV2(w, taflocerr.Errorf(taflocerr.CodeBadRequest,
-			"serve: want /v2/zones/{id}[/position|/watch]"))
+			"serve: want /v2/zones/{id}[/position|/track|/history|/watch|/snapshot|/reports:stream]"))
 		return
 	}
 	switch sub {
@@ -109,6 +112,30 @@ func (s *Service) handleZoneV2(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleWatch(w, r, id)
+	case "reports:stream":
+		s.handleReportStream(w, r, id)
+	case "track":
+		if r.Method != http.MethodGet {
+			methodNotAllowedV2(w, http.MethodGet)
+			return
+		}
+		points, err := s.Track(id, queryN(r))
+		if err != nil {
+			errorV2(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, api.TrackResponse{Zone: id, Points: points})
+	case "history":
+		if r.Method != http.MethodGet {
+			methodNotAllowedV2(w, http.MethodGet)
+			return
+		}
+		ests, err := s.History(id, queryN(r))
+		if err != nil {
+			errorV2(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, api.HistoryResponse{Zone: id, Estimates: ests})
 	case "snapshot":
 		switch r.Method {
 		case http.MethodGet:
@@ -122,6 +149,16 @@ func (s *Service) handleZoneV2(w http.ResponseWriter, r *http.Request) {
 		errorV2(w, taflocerr.Errorf(taflocerr.CodeBadRequest,
 			"serve: unknown zone subresource %q", sub))
 	}
+}
+
+// queryN parses the optional ?n=K sample bound of the track and
+// history routes; 0 (all buffered samples) when absent or unparsable.
+func queryN(r *http.Request) int {
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 // maxSnapshotBody bounds PUT /v2/zones/{id}/snapshot uploads. Radio
@@ -304,5 +341,6 @@ func (s *Service) handleHealthzV2(w http.ResponseWriter, r *http.Request) {
 		Zones:   len(s.Zones()),
 		UptimeS: s.Uptime().Seconds(),
 		Stats:   s.Stats(),
+		Streams: int(s.streams.Load()),
 	})
 }

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"fmt"
+
+	"tafloc/internal/wire"
+)
+
+// Ingestor is the transport-agnostic ingestion surface of the serving
+// layer. Every transport — in-process callers, the UDP collector sink
+// (IngestSink), the per-request POST /v2/report handler, and the
+// persistent NDJSON report stream — funnels into one Ingest
+// implementation, so validation, bounded-queue load shedding, and the
+// per-zone counters behave identically no matter how a report arrived.
+// *Service implements it.
+type Ingestor interface {
+	// Ingest enqueues a batch of reports for a zone. On a nil return the
+	// ingestor has taken ownership of the slice and the caller must not
+	// reuse it; on any error the ingestor retains nothing and the caller
+	// may retry with the same slice.
+	Ingest(zone string, reports []Report) error
+}
+
+// Ingest is the shared ingestion path. A report addressing a link
+// outside the zone's deployment rejects the whole batch with an error
+// matching both ErrBadReport and taflocerr.ErrBadLink; when the zone's
+// bounded queue is full the batch is shed and ErrQueueFull returned —
+// ingestion never blocks the caller. Rejected and shed reports count
+// into the zone's Dropped stat, accepted ones into Received, for every
+// transport alike.
+func (s *Service) Ingest(id string, reports []Report) error {
+	s.mu.RLock()
+	z, ok := s.zones[id]
+	s.mu.RUnlock()
+	if !ok {
+		return ErrUnknownZone
+	}
+	if len(reports) == 0 {
+		return nil
+	}
+	m := len(z.win)
+	for _, r := range reports {
+		if r.Link < 0 || r.Link >= m {
+			z.dropped.Add(uint64(len(reports)))
+			return fmt.Errorf("%w: link %d of %d in zone %q", ErrBadReport, r.Link, m, id)
+		}
+	}
+	select {
+	case z.queue <- reports:
+		z.received.Add(uint64(len(reports)))
+		return nil
+	default:
+		z.dropped.Add(uint64(len(reports)))
+		return ErrQueueFull
+	}
+}
+
+// Report enqueues a batch of reports for a zone. It is the pre-v2.1
+// name of Ingest and forwards to it unchanged; both share the one
+// validation/shedding/metrics path.
+func (s *Service) Report(id string, reports []Report) error {
+	return s.Ingest(id, reports)
+}
+
+// IngestSink adapts an Ingestor into a collector batch sink for one
+// zone: wire it with Collector.SetBatchSink and every decoded UDP batch
+// datagram flows through the shared ingest path. Shed or rejected
+// batches are dropped silently here — the zone's counters carry the
+// accounting, exactly as they do for HTTP ingest — because the sink
+// runs on the collector's UDP read loop and must never block or fail
+// it.
+func IngestSink(ing Ingestor, zone string) func([]wire.RSSReport) {
+	return func(frames []wire.RSSReport) {
+		reports := make([]Report, len(frames))
+		for i := range frames {
+			reports[i] = FromWire(&frames[i])
+		}
+		_ = ing.Ingest(zone, reports)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"tafloc/internal/api"
 	"tafloc/internal/core"
+	"tafloc/internal/track"
 	"tafloc/internal/wire"
 	"tafloc/taflocerr"
 )
@@ -73,6 +74,16 @@ type Config struct {
 	// ": heartbeat" comment so proxy and load-balancer idle timeouts do
 	// not kill it (default 15s; negative = no heartbeats).
 	WatchHeartbeat time.Duration
+	// History is the per-zone ring capacity of the published-estimate
+	// history and the smoothed trajectory behind GET
+	// /v2/zones/{id}/history and /track (default 256; negative =
+	// history and trajectory tracking disabled, the routes answer
+	// unsupported).
+	History int
+	// Track configures the per-zone trajectory filter fed from the
+	// publish path. The zero value selects track.DefaultOptions();
+	// invalid options fail NewService with a taflocerr error.
+	Track track.Options
 	// ZoneFactory enables zone creation over the /v2 HTTP surface.
 	ZoneFactory ZoneFactory
 }
@@ -122,6 +133,15 @@ func (c Config) withDefaults() Config {
 	case c.WatchHeartbeat < 0:
 		c.WatchHeartbeat = 0
 	}
+	switch {
+	case c.History == 0:
+		c.History = 256
+	case c.History < 0:
+		c.History = 0
+	}
+	if c.Track == (track.Options{}) {
+		c.Track = track.DefaultOptions()
+	}
 	return c
 }
 
@@ -152,6 +172,8 @@ type zoneConfig struct {
 	thrDB    float64 // normalized: 0 = presence gating disabled
 	detector string
 	det      core.DetectorFactory
+	history  int           // normalized: 0 = history and tracking disabled
+	trk      track.Options // always concrete (zero value replaced by defaults)
 }
 
 // zone is one shard: a core.System plus the worker-owned ingest state.
@@ -180,6 +202,16 @@ type zone struct {
 	estimates   atomic.Uint64
 	matchErrors atomic.Uint64
 
+	// Trajectory state: the publish path appends every estimate to hist
+	// and folds present fixes through tracker into trk; the /track and
+	// /history reads run on other goroutines, so the trio is guarded by
+	// its own mutex (taken after s.mu when both are held). All three are
+	// nil when the zone's history is disabled.
+	trackMu sync.Mutex
+	tracker *track.Tracker
+	hist    *ring[Estimate]
+	trk     *ring[api.TrackPoint]
+
 	// Worker lifecycle: cancel stops this zone's worker, done closes when
 	// it has exited. Both are nil until the zone's worker starts.
 	cancel context.CancelFunc
@@ -201,6 +233,7 @@ type Service struct {
 
 	snap    atomic.Pointer[map[string]Estimate]
 	seq     atomic.Uint64
+	streams atomic.Int64 // open NDJSON report streams (health gauge)
 	started atomic.Bool
 	start   time.Time
 	runCtx  context.Context // the Start context; parent of every zone worker
@@ -213,7 +246,7 @@ type Service struct {
 // (matching taflocerr.ErrBadRequest) — the builder path never panics.
 func NewService(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	zc, err := newZoneConfig(cfg.Window, cfg.DetectThresholdDB, cfg.Detector)
+	zc, err := newZoneConfig(cfg.Window, cfg.DetectThresholdDB, cfg.Detector, cfg.History, cfg.Track)
 	if err != nil {
 		return nil, err
 	}
@@ -242,15 +275,26 @@ func New(cfg Config) *Service {
 }
 
 // newZoneConfig validates and assembles a per-zone configuration.
-// window and thrDB must already be normalized (window >= 1, thrDB >= 0
-// with 0 meaning the gate is off).
-func newZoneConfig(window int, thrDB float64, detector string) (zoneConfig, error) {
+// window, thrDB, and history must already be normalized (window >= 1,
+// thrDB >= 0 with 0 meaning the gate is off, history >= 0 with 0
+// meaning history and tracking are disabled); trk with its zero value
+// selects the default trajectory filter options.
+func newZoneConfig(window int, thrDB float64, detector string, history int, trk track.Options) (zoneConfig, error) {
 	if window < 1 {
 		return zoneConfig{}, taflocerr.Errorf(taflocerr.CodeBadRequest,
 			"serve: window must be at least 1, got %d", window)
 	}
 	if thrDB < 0 {
 		thrDB = 0
+	}
+	if history < 0 {
+		history = 0
+	}
+	if trk == (track.Options{}) {
+		trk = track.DefaultOptions()
+	}
+	if err := trk.Validate(); err != nil {
+		return zoneConfig{}, taflocerr.Errorf(taflocerr.CodeBadRequest, "serve: %v", err)
 	}
 	if _, err := core.NewDetectorByName(detector, nil, 1); err != nil {
 		return zoneConfig{}, err
@@ -263,12 +307,16 @@ func newZoneConfig(window int, thrDB float64, detector string) (zoneConfig, erro
 			p, _ := core.NewDetectorByName(detector, vacant, thr)
 			return p
 		},
+		history: history,
+		trk:     trk,
 	}, nil
 }
 
 // newZone allocates the shard state for sys under id with the given
-// per-zone configuration.
-func (s *Service) newZone(id string, sys *core.System, zc zoneConfig) *zone {
+// per-zone configuration. A non-nil tracker seeds the trajectory filter
+// (the warm-restore path); otherwise a fresh one is built when the
+// zone's history is enabled.
+func (s *Service) newZone(id string, sys *core.System, zc zoneConfig, tracker *track.Tracker) *zone {
 	m := sys.Layout().M()
 	z := &zone{
 		id:    id,
@@ -285,6 +333,15 @@ func (s *Service) newZone(id string, sys *core.System, zc zoneConfig) *zone {
 	for i := range z.win {
 		z.win[i] = make([]float64, zc.window)
 		z.vwin[i] = make([]float64, zc.window)
+	}
+	if zc.history > 0 {
+		z.hist = newRing[Estimate](zc.history)
+		z.trk = newRing[api.TrackPoint](zc.history)
+		z.tracker = tracker
+		if z.tracker == nil {
+			// zc.trk was validated by newZoneConfig, so this cannot fail.
+			z.tracker, _ = track.NewTracker(zc.trk)
+		}
 	}
 	return z
 }
@@ -304,12 +361,13 @@ func (s *Service) startZoneLocked(z *zone) {
 // service is running (the worker launches immediately). A stopped
 // service rejects new zones — their workers could never run.
 func (s *Service) AddZone(id string, sys *core.System) error {
-	return s.addZone(id, sys, s.defZC)
+	return s.addZone(id, sys, s.defZC, nil)
 }
 
 // addZone registers a zone under an explicit per-zone configuration
-// (AddZone passes the service default; RestoreZone the snapshot's).
-func (s *Service) addZone(id string, sys *core.System, zc zoneConfig) error {
+// (AddZone passes the service default; RestoreZone the snapshot's,
+// along with the snapshot's trajectory-filter state).
+func (s *Service) addZone(id string, sys *core.System, zc zoneConfig, tracker *track.Tracker) error {
 	if id == "" {
 		return taflocerr.Errorf(taflocerr.CodeBadRequest, "serve: empty zone id")
 	}
@@ -324,7 +382,7 @@ func (s *Service) addZone(id string, sys *core.System, zc zoneConfig) error {
 	if _, ok := s.zones[id]; ok {
 		return ErrZoneExists
 	}
-	z := s.newZone(id, sys, zc)
+	z := s.newZone(id, sys, zc, tracker)
 	s.zones[id] = z
 	s.order = append(s.order, id)
 	sort.Strings(s.order)
@@ -444,11 +502,27 @@ func (s *Service) UpdateZone(id string, sys *core.System) error {
 }
 
 // swapZoneLocked replaces z with a fresh zone over sys, carrying the
-// per-zone configuration and the counters (including the worker-owned
-// folded count, safe to read once the worker has exited or never ran).
-// Caller holds s.mu.
+// per-zone configuration, the counters (including the worker-owned
+// folded count, safe to read once the worker has exited or never ran),
+// and the trajectory state — the zone is the same physical space, so
+// its track survives a fingerprint-database swap. The trajectory state
+// is deep-copied under the old zone's lock: a reader still holding the
+// old shard keeps a consistent snapshot and can never race the new
+// worker. Caller holds s.mu.
 func (s *Service) swapZoneLocked(z *zone, sys *core.System) {
-	nz := s.newZone(z.id, sys, z.zc)
+	z.trackMu.Lock()
+	var tracker *track.Tracker
+	if z.tracker != nil {
+		// The exported state round-trips through the same validation as a
+		// snapshot restore; it came from a live filter, so it cannot fail.
+		tracker, _ = track.NewTrackerFromState(z.tracker.Export())
+	}
+	nz := s.newZone(z.id, sys, z.zc, tracker)
+	if nz.hist != nil && z.hist != nil {
+		nz.hist.copyFrom(z.hist)
+		nz.trk.copyFrom(z.trk)
+	}
+	z.trackMu.Unlock()
 	nz.folded = z.folded
 	nz.received.Store(z.received.Load())
 	nz.dropped.Store(z.dropped.Load())
@@ -543,41 +617,6 @@ func (s *Service) Uptime() time.Duration {
 		return 0
 	}
 	return time.Since(s.start)
-}
-
-// Report enqueues a batch of reports for a zone. On a nil return the
-// service has taken ownership of the slice and the caller must not reuse
-// it; on any error (including ErrQueueFull) the service retains nothing
-// and the caller may retry with the same slice. A report addressing a
-// link outside the zone's deployment rejects the whole batch with an
-// error matching both ErrBadReport and taflocerr.ErrBadLink. When the
-// zone's queue is full the batch is shed and ErrQueueFull returned —
-// ingestion never blocks the caller.
-func (s *Service) Report(id string, reports []Report) error {
-	s.mu.RLock()
-	z, ok := s.zones[id]
-	s.mu.RUnlock()
-	if !ok {
-		return ErrUnknownZone
-	}
-	if len(reports) == 0 {
-		return nil
-	}
-	m := len(z.win)
-	for _, r := range reports {
-		if r.Link < 0 || r.Link >= m {
-			z.dropped.Add(uint64(len(reports)))
-			return fmt.Errorf("%w: link %d of %d in zone %q", ErrBadReport, r.Link, m, id)
-		}
-	}
-	select {
-	case z.queue <- reports:
-		z.received.Add(uint64(len(reports)))
-		return nil
-	default:
-		z.dropped.Add(uint64(len(reports)))
-		return ErrQueueFull
-	}
 }
 
 // Position returns the most recent estimate for a zone. The read is one
@@ -747,7 +786,7 @@ func (s *Service) localize(z *zone) {
 		e.Distance = loc.Distance
 		e.Confidence = loc.Confidence
 	}
-	s.publish(e)
+	s.publish(z, e)
 	z.estimates.Add(1)
 }
 
@@ -785,12 +824,16 @@ func (s *Service) detect(z *zone, y []float64) (bool, float64) {
 	return z.zc.det(vac, z.zc.thrDB).Present(y)
 }
 
-// publish installs an estimate into the read-mostly snapshot and fans it
-// out to the zone's watchers. Writers (the zone workers) serialize on
-// the service mutex and swap in a fresh copy; readers keep loading the
-// old snapshot untouched.
-func (s *Service) publish(e Estimate) {
-	e.Time = time.Now()
+// publish installs an estimate into the read-mostly snapshot, fans it
+// out to the zone's watchers, and records it into the zone's trajectory
+// state. Writers (the zone workers) serialize on the service mutex and
+// swap in a fresh copy; readers keep loading the old snapshot
+// untouched. The publish time is wall clock only (Round strips the
+// monotonic reading): the trajectory filter derives dt from it, and the
+// wall clock is what survives the wire — replaying served history
+// timestamps must reproduce the served track exactly.
+func (s *Service) publish(z *zone, e Estimate) {
+	e.Time = time.Now().Round(0)
 	s.mu.Lock()
 	e.Seq = s.seq.Add(1)
 	old := *s.snap.Load()
@@ -802,6 +845,9 @@ func (s *Service) publish(e Estimate) {
 	s.snap.Store(&next)
 	for ch := range s.watchers[e.Zone] {
 		sendOrDropOldest(ch, e)
+	}
+	if z != nil {
+		z.recordTrack(e)
 	}
 	s.mu.Unlock()
 }

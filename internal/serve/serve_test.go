@@ -206,13 +206,13 @@ func TestQueryDuringUpdate(t *testing.T) {
 // reader copies.
 func TestSnapshotConsistency(t *testing.T) {
 	svc := New(Config{})
-	svc.publish(Estimate{Zone: "a", Cell: 1})
-	svc.publish(Estimate{Zone: "b", Cell: 2})
+	svc.publish(nil, Estimate{Zone: "a", Cell: 1})
+	svc.publish(nil, Estimate{Zone: "b", Cell: 2})
 	before := svc.Positions()
 	if len(before) != 2 {
 		t.Fatalf("want 2 zones in snapshot, got %d", len(before))
 	}
-	svc.publish(Estimate{Zone: "a", Cell: 3})
+	svc.publish(nil, Estimate{Zone: "a", Cell: 3})
 	after := svc.Positions()
 	if before["a"].Cell != 1 {
 		t.Errorf("reader copy mutated: a.Cell = %d, want 1", before["a"].Cell)

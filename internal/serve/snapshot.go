@@ -12,6 +12,7 @@ import (
 
 	"tafloc/internal/core"
 	"tafloc/internal/snap"
+	"tafloc/internal/track"
 	"tafloc/taflocerr"
 )
 
@@ -41,16 +42,29 @@ func (s *Service) snapshotZone(id string) (*snap.Snapshot, error) {
 	if !ok {
 		return nil, ErrUnknownZone
 	}
-	return &snap.Snapshot{
+	history := z.zc.history
+	if history == 0 {
+		history = -1 // explicitly disabled — distinct from v1's "not recorded"
+	}
+	sn := &snap.Snapshot{
 		Zone:    id,
 		SavedAt: time.Now(),
 		Config: snap.ZoneConfig{
 			Window:            z.zc.window,
 			DetectThresholdDB: z.zc.thrDB,
 			Detector:          z.zc.detector,
+			History:           history,
+			Track:             z.zc.trk,
 		},
 		State: z.sys.ExportState(),
-	}, nil
+	}
+	z.trackMu.Lock()
+	if z.tracker != nil {
+		ts := z.tracker.Export()
+		sn.Track = &ts
+	}
+	z.trackMu.Unlock()
+	return sn, nil
 }
 
 // RestoreZone warm-starts a zone from an encoded snapshot: decode,
@@ -74,6 +88,10 @@ func (s *Service) RestoreZone(data []byte) (string, error) {
 // huge (or impossible) per-link allocation.
 const maxRestoreWindow = 1 << 16
 
+// maxRestoreHistory likewise bounds the history/trajectory ring depth a
+// snapshot may request.
+const maxRestoreHistory = 1 << 20
+
 func (s *Service) restoreSnapshot(sn *snap.Snapshot) (string, error) {
 	if sn.Zone == "" {
 		return "", taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt, "serve: snapshot has no zone id")
@@ -81,6 +99,10 @@ func (s *Service) restoreSnapshot(sn *snap.Snapshot) (string, error) {
 	if sn.Config.Window > maxRestoreWindow {
 		return "", taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt,
 			"serve: snapshot window %d exceeds limit %d", sn.Config.Window, maxRestoreWindow)
+	}
+	if sn.Config.History > maxRestoreHistory {
+		return "", taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt,
+			"serve: snapshot history depth %d exceeds limit %d", sn.Config.History, maxRestoreHistory)
 	}
 	sys, err := core.RestoreSystem(sn.State)
 	if err != nil {
@@ -94,14 +116,38 @@ func (s *Service) restoreSnapshot(sn *snap.Snapshot) (string, error) {
 	if detector == "" {
 		detector = s.cfg.Detector
 	}
-	zc, err := newZoneConfig(window, sn.Config.DetectThresholdDB, detector)
+	// History semantics: positive = the captured depth, -1 = the zone had
+	// tracking explicitly disabled, 0 = a version-1 snapshot that never
+	// recorded it (the restoring service's default applies). Same for the
+	// zero-valued track options.
+	history := sn.Config.History
+	switch {
+	case history == 0:
+		history = s.cfg.History
+	case history < 0:
+		history = 0
+	}
+	trkOpts := sn.Config.Track
+	if trkOpts == (track.Options{}) {
+		trkOpts = s.cfg.Track
+	}
+	zc, err := newZoneConfig(window, sn.Config.DetectThresholdDB, detector, history, trkOpts)
 	if err != nil {
-		// The snapshot names a detector this build does not have
-		// registered; that is a property of the file, not of the request.
+		// The snapshot names a detector (or filter configuration) this
+		// build does not accept; that is a property of the file, not of
+		// the request.
 		return "", taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt,
 			"serve: snapshot for zone %q: %w", sn.Zone, err)
 	}
-	if err := s.addZone(sn.Zone, sys, zc); err != nil {
+	var tracker *track.Tracker
+	if sn.Track != nil && zc.history > 0 {
+		tracker, err = track.NewTrackerFromState(*sn.Track)
+		if err != nil {
+			return "", taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt,
+				"serve: snapshot for zone %q: tracker state: %w", sn.Zone, err)
+		}
+	}
+	if err := s.addZone(sn.Zone, sys, zc, tracker); err != nil {
 		return "", err
 	}
 	return sn.Zone, nil

@@ -560,3 +560,107 @@ func TestUnbufferedQueueServes(t *testing.T) {
 	}
 	waitForEstimate(t, svc, "z", func(e Estimate) bool { return e.Present })
 }
+
+// TestRestorePreRedesignSnapshot is the compatibility acceptance pin:
+// a snapshot written in the previous format version (v1, no trajectory
+// section) still warm-starts a zone on the redesigned service, with the
+// service's own history/track defaults filling the unrecorded fields.
+func TestRestorePreRedesignSnapshot(t *testing.T) {
+	dep := testDeployment(t)
+	svc := New(Config{Window: 2, DetectThresholdDB: 0.25})
+	if err := svc.AddZone("z", testSystem(t, dep)); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := svc.snapshotZone("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := snap.EncodeVersion(sn, snap.VersionPrev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := New(Config{Window: 2, DetectThresholdDB: 0.25, History: 64})
+	id, err := other.RestoreZone(legacy)
+	if err != nil {
+		t.Fatalf("restoring a v%d snapshot failed: %v", snap.VersionPrev, err)
+	}
+	if id != "z" {
+		t.Fatalf("restored id %q", id)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := other.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The restored zone serves, and the restoring service's defaults
+	// govern the unrecorded trajectory config: history is available.
+	var batches [][]Report
+	for i := 0; i < 8; i++ {
+		batches = append(batches, targetBatch(dep, geom.Point{X: 1.5, Y: 1.2}))
+	}
+	feedZone(t, other, "z", batches, 2)
+	hist, err := other.History("z", 0)
+	if err != nil || len(hist) == 0 {
+		t.Errorf("history on v1-restored zone: %d estimates, %v", len(hist), err)
+	}
+	if _, err := other.Track("z", 0); err != nil {
+		t.Errorf("track on v1-restored zone: %v", err)
+	}
+}
+
+// TestSnapshotCarriesTracker: the trajectory filter state travels in
+// the snapshot, so a restored zone's track resumes instead of
+// re-initializing — its next smoothed point continues from the
+// original's state.
+func TestSnapshotCarriesTracker(t *testing.T) {
+	dep := testDeployment(t)
+	svc := New(Config{Window: 2, DetectThresholdDB: 0.25})
+	if err := svc.AddZone("z", testSystem(t, dep)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := svc.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var batches [][]Report
+	for i := 0; i < 10; i++ {
+		batches = append(batches, targetBatch(dep, geom.Point{X: 1.5, Y: 1.2}))
+	}
+	feedZone(t, svc, "z", batches, 4)
+
+	sn, err := svc.snapshotZone("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Track == nil {
+		t.Fatal("snapshot of a tracking zone has no tracker state")
+	}
+	if !sn.Track.Filter.Initialized || !sn.Track.HasFix {
+		t.Errorf("captured tracker state not live: %+v", sn.Track)
+	}
+	if sn.Config.History != 256 {
+		t.Errorf("captured history depth %d, want the default 256", sn.Config.History)
+	}
+
+	data, err := snap.Encode(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := New(Config{})
+	if _, err := other.RestoreZone(data); err != nil {
+		t.Fatal(err)
+	}
+	other.mu.RLock()
+	z := other.zones["z"]
+	other.mu.RUnlock()
+	if z.tracker == nil {
+		t.Fatal("restored zone has no tracker")
+	}
+	got := z.tracker.Export()
+	if got.Filter != sn.Track.Filter || got.HasFix != sn.Track.HasFix ||
+		!got.LastFix.Equal(sn.Track.LastFix) {
+		t.Errorf("restored tracker state diverges:\n got  %+v\n want %+v", got, sn.Track)
+	}
+}

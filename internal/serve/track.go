@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"tafloc/internal/api"
+	"tafloc/taflocerr"
+)
+
+// Trajectory serving: each zone keeps a bounded ring of its published
+// estimates (raw history) and a parallel ring of smoothed track points
+// produced by folding every present fix through the zone's
+// constant-velocity Kalman filter (internal/track). The rings are
+// capped at the zone's configured history depth, so the memory cost per
+// zone is fixed and the oldest samples fall off. Both are read over
+// GET /v2/zones/{id}/history and /track.
+
+// TrackPoint is one sample of a zone's smoothed trajectory (shared
+// wire type; see internal/api).
+type TrackPoint = api.TrackPoint
+
+// ring is a fixed-capacity FIFO over the last cap pushed values.
+type ring[T any] struct {
+	buf []T
+	idx int // next write position
+	n   int // values held (<= len(buf))
+}
+
+func newRing[T any](capacity int) *ring[T] {
+	return &ring[T]{buf: make([]T, capacity)}
+}
+
+func (r *ring[T]) push(v T) {
+	r.buf[r.idx] = v
+	r.idx = (r.idx + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// last returns up to n values, oldest first (all buffered when n <= 0).
+func (r *ring[T]) last(n int) []T {
+	if n <= 0 || n > r.n {
+		n = r.n
+	}
+	out := make([]T, n)
+	start := r.idx - n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// copyFrom overwrites r with src's contents. Capacities may differ; the
+// newest min(cap, src.n) values survive.
+func (r *ring[T]) copyFrom(src *ring[T]) {
+	for _, v := range src.last(0) {
+		r.push(v)
+	}
+}
+
+// recordTrack appends a freshly published estimate to the zone's
+// history and, for present fixes, folds it through the trajectory
+// filter. Called from the publish path (worker goroutine, under s.mu);
+// the track mutex serializes against HTTP readers.
+func (z *zone) recordTrack(e Estimate) {
+	if z.hist == nil {
+		return
+	}
+	z.trackMu.Lock()
+	defer z.trackMu.Unlock()
+	z.hist.push(e)
+	if !e.Present || e.Cell < 0 {
+		return
+	}
+	st, accepted := z.tracker.Observe(e.Point, e.Time)
+	z.trk.push(api.TrackPoint{
+		Seq:      e.Seq,
+		Time:     e.Time,
+		Cell:     e.Cell,
+		Raw:      e.Point,
+		Point:    st.Position,
+		Velocity: st.Velocity,
+		PosStd:   st.PosStd,
+		Accepted: accepted,
+	})
+}
+
+// errHistoryDisabled reports the history/track routes on a zone whose
+// history depth is zero (Config.History negative, or WithHistory(0)).
+var errHistoryDisabled error = taflocerr.New(taflocerr.CodeUnsupported,
+	"serve: history and tracking are disabled for this zone")
+
+// Track returns up to n samples of a zone's smoothed trajectory, oldest
+// first (all buffered samples when n <= 0). Each sample pairs the raw
+// published fix with the trajectory filter's position, velocity, and
+// uncertainty after folding it. A zone with history disabled fails with
+// taflocerr.ErrUnsupported.
+func (s *Service) Track(id string, n int) ([]api.TrackPoint, error) {
+	s.mu.RLock()
+	z, ok := s.zones[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrUnknownZone
+	}
+	if z.trk == nil {
+		return nil, errHistoryDisabled
+	}
+	z.trackMu.Lock()
+	defer z.trackMu.Unlock()
+	return z.trk.last(n), nil
+}
+
+// History returns up to n of a zone's most recently published
+// estimates, oldest first (all buffered when n <= 0). Unlike Position,
+// which holds only the latest value, History exposes how the estimate
+// evolved — including absent samples the track skips. A zone with
+// history disabled fails with taflocerr.ErrUnsupported.
+func (s *Service) History(id string, n int) ([]Estimate, error) {
+	s.mu.RLock()
+	z, ok := s.zones[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrUnknownZone
+	}
+	if z.hist == nil {
+		return nil, errHistoryDisabled
+	}
+	z.trackMu.Lock()
+	defer z.trackMu.Unlock()
+	return z.hist.last(n), nil
+}

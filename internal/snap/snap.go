@@ -5,7 +5,7 @@
 // serve configuration) into a versioned, CRC-checked binary snapshot,
 // and decodes it back with strict validation.
 //
-// # Format (version 1)
+// # Format
 //
 //	[0:8)   magic "TAFSNAP\x00"
 //	[8:12)  format version, uint32 little-endian
@@ -18,6 +18,15 @@
 // int64. Nothing in the format is self-describing — the version number
 // owns the layout, and a decoder that does not know the version refuses
 // the file (taflocerr.CodeSnapshotVersion) instead of guessing.
+//
+// Version 2 (current) appends the zone's trajectory-serving state to
+// the version-1 payload: the history depth, the trajectory filter
+// options, and the live Kalman filter state, so a warm-started zone
+// resumes its track. Decoders read both versions — a version-1 file
+// yields a Snapshot with no Track state and zero-valued history/track
+// config (the restoring service's defaults apply). Encode writes the
+// current version; EncodeVersion writes an explicit one, which is how a
+// deployment rolls snapshots back to a build that only reads v1.
 //
 // Decoding fails closed: a wrong magic or version yields
 // taflocerr.CodeSnapshotVersion; truncation, trailing garbage, CRC
@@ -42,12 +51,17 @@ import (
 	"tafloc/internal/core"
 	"tafloc/internal/geom"
 	"tafloc/internal/mat"
+	"tafloc/internal/track"
 	"tafloc/taflocerr"
 )
 
 // Version is the current snapshot format version. Decoders accept
 // exactly the versions they implement; there is no forward compatibility.
-const Version = 1
+const Version = 2
+
+// VersionPrev is the oldest version this build still decodes (and can
+// emit via EncodeVersion for rollbacks).
+const VersionPrev = 1
 
 // magic identifies a TafLoc snapshot file.
 var magic = [8]byte{'T', 'A', 'F', 'S', 'N', 'A', 'P', 0}
@@ -73,6 +87,15 @@ type ZoneConfig struct {
 	DetectThresholdDB float64
 	// Detector is the registry name of the presence detector.
 	Detector string
+	// History is the zone's history/trajectory ring depth: positive for
+	// an explicit depth, -1 for explicitly disabled, 0 for "not recorded"
+	// (version-1 snapshots), in which case the restoring service's
+	// default applies.
+	History int
+	// Track holds the trajectory filter options; the zero value means
+	// "not recorded" (version-1 snapshots) and selects the restoring
+	// service's defaults.
+	Track track.Options
 }
 
 // Snapshot is one calibrated deployment, ready to serialize.
@@ -85,12 +108,29 @@ type Snapshot struct {
 	Config ZoneConfig
 	// State is the calibrated system state.
 	State *core.SystemState
+	// Track is the zone's live trajectory-filter state at capture time,
+	// nil when the zone had tracking disabled (or the snapshot predates
+	// version 2).
+	Track *track.TrackerState
 }
 
-// Encode serializes s into the versioned, CRC-checked binary format.
+// Encode serializes s into the current version of the CRC-checked
+// binary format.
 func Encode(s *Snapshot) ([]byte, error) {
+	return EncodeVersion(s, Version)
+}
+
+// EncodeVersion serializes s as an explicit format version — the
+// current one, or VersionPrev to hand a snapshot to a build that only
+// reads the previous layout (version 1 simply omits the trajectory
+// state).
+func EncodeVersion(s *Snapshot, version uint32) ([]byte, error) {
 	if s == nil || s.State == nil {
 		return nil, taflocerr.Errorf(taflocerr.CodeBadRequest, "snap: nil snapshot")
+	}
+	if version < VersionPrev || version > Version {
+		return nil, taflocerr.Errorf(taflocerr.CodeBadRequest,
+			"snap: cannot encode version %d (this build writes %d..%d)", version, VersionPrev, Version)
 	}
 	var e encoder
 	e.str(s.Zone)
@@ -138,10 +178,21 @@ func Encode(s *Snapshot) ([]byte, error) {
 	e.f64s(st.Vacant)
 	e.ints(st.RefCells)
 
+	if version >= 2 {
+		e.i64(int64(s.Config.History))
+		e.trackOptions(s.Config.Track)
+		if s.Track == nil {
+			e.buf = append(e.buf, 0)
+		} else {
+			e.buf = append(e.buf, 1)
+			e.trackerState(s.Track)
+		}
+	}
+
 	payload := e.buf
 	out := make([]byte, 0, headerSize+len(payload)+4)
 	out = append(out, magic[:]...)
-	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = binary.LittleEndian.AppendUint32(out, version)
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
 	out = append(out, payload...)
 	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
@@ -160,9 +211,10 @@ func Decode(data []byte) (*Snapshot, error) {
 	if [8]byte(data[:8]) != magic {
 		return nil, taflocerr.Errorf(taflocerr.CodeSnapshotVersion, "snap: not a TafLoc snapshot")
 	}
-	if v := binary.LittleEndian.Uint32(data[8:12]); v != Version {
+	version := binary.LittleEndian.Uint32(data[8:12])
+	if version < VersionPrev || version > Version {
 		return nil, taflocerr.Errorf(taflocerr.CodeSnapshotVersion,
-			"snap: unsupported snapshot version %d (this build reads %d)", v, Version)
+			"snap: unsupported snapshot version %d (this build reads %d..%d)", version, VersionPrev, Version)
 	}
 	n := binary.LittleEndian.Uint64(data[12:headerSize])
 	if n != uint64(len(data)-headerSize-4) {
@@ -231,6 +283,21 @@ func Decode(data []byte) (*Snapshot, error) {
 	st.Observed = d.matrix()
 	st.Vacant = d.f64s()
 	st.RefCells = d.ints()
+
+	if version >= 2 {
+		s.Config.History = d.intv()
+		s.Config.Track = d.trackOptions()
+		if b := d.take(1); len(b) == 1 {
+			switch b[0] {
+			case 0:
+			case 1:
+				ts := d.trackerState()
+				s.Track = &ts
+			default:
+				d.fail("invalid tracker presence flag %d", b[0])
+			}
+		}
+	}
 
 	if d.err != nil {
 		return nil, d.err
@@ -306,6 +373,40 @@ func (e *encoder) ints(v []int) {
 	e.u32(uint32(len(v)))
 	for _, x := range v {
 		e.i64(int64(x))
+	}
+}
+
+// trackOptions writes the trajectory filter options flat.
+func (e *encoder) trackOptions(o track.Options) {
+	e.f64(o.ProcessStd)
+	e.f64(o.MeasurementStd)
+	e.f64(o.GateSigma)
+	e.i64(int64(o.MaxCoast))
+}
+
+// trackerState writes the live trajectory-filter state flat (the
+// presence flag is the caller's).
+func (e *encoder) trackerState(ts *track.TrackerState) {
+	e.trackOptions(ts.Filter.Opts)
+	e.bool(ts.Filter.Initialized)
+	e.i64(int64(ts.Filter.Coasts))
+	e.f64(ts.Filter.X[0])
+	e.f64(ts.Filter.X[1])
+	e.f64(ts.Filter.Y[0])
+	e.f64(ts.Filter.Y[1])
+	for _, row := range [][2]float64{ts.Filter.PX[0], ts.Filter.PX[1], ts.Filter.PY[0], ts.Filter.PY[1]} {
+		e.f64(row[0])
+		e.f64(row[1])
+	}
+	e.bool(ts.HasFix)
+	e.i64(ts.LastFix.UnixNano())
+}
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
 	}
 }
 
@@ -437,6 +538,45 @@ func (d *decoder) ints() []int {
 		out[i] = d.intv()
 	}
 	return out
+}
+
+func (d *decoder) bool() bool {
+	b := d.take(1)
+	if b == nil {
+		return false
+	}
+	switch b[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("invalid bool byte %d", b[0])
+		return false
+	}
+}
+
+func (d *decoder) trackOptions() track.Options {
+	return track.Options{
+		ProcessStd:     d.f64(),
+		MeasurementStd: d.f64(),
+		GateSigma:      d.f64(),
+		MaxCoast:       d.intv(),
+	}
+}
+
+func (d *decoder) trackerState() track.TrackerState {
+	var ts track.TrackerState
+	ts.Filter.Opts = d.trackOptions()
+	ts.Filter.Initialized = d.bool()
+	ts.Filter.Coasts = d.intv()
+	ts.Filter.X = [2]float64{d.f64(), d.f64()}
+	ts.Filter.Y = [2]float64{d.f64(), d.f64()}
+	ts.Filter.PX = [2][2]float64{{d.f64(), d.f64()}, {d.f64(), d.f64()}}
+	ts.Filter.PY = [2][2]float64{{d.f64(), d.f64()}, {d.f64(), d.f64()}}
+	ts.HasFix = d.bool()
+	ts.LastFix = time.Unix(0, d.i64()).UTC()
+	return ts
 }
 
 func (d *decoder) matrix() *mat.Matrix {

@@ -11,6 +11,7 @@ import (
 	"tafloc/internal/core"
 	"tafloc/internal/geom"
 	"tafloc/internal/mat"
+	"tafloc/internal/track"
 	"tafloc/taflocerr"
 )
 
@@ -42,6 +43,13 @@ func testSnapshot(t testing.TB) *Snapshot {
 	}
 	st := sys.ExportState()
 	st.Observed = mat.New(m, n) // exercise the optional-matrix path
+	trk, err := track.NewTracker(track.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trk.Observe(geom.Point{X: 1.2, Y: 0.8}, time.Unix(1_700_000_000, 0))
+	trk.Observe(geom.Point{X: 1.4, Y: 0.9}, time.Unix(1_700_000_001, 0))
+	ts := trk.Export()
 	return &Snapshot{
 		Zone:    "lobby/east wing",
 		SavedAt: time.Unix(1_700_000_000, 123456789).UTC(),
@@ -49,8 +57,11 @@ func testSnapshot(t testing.TB) *Snapshot {
 			Window:            6,
 			DetectThresholdDB: 0.25,
 			Detector:          "rms",
+			History:           128,
+			Track:             track.DefaultOptions(),
 		},
 		State: st,
+		Track: &ts,
 	}
 }
 
@@ -69,6 +80,13 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got.State, want.State) {
 		t.Error("system state did not round-trip exactly")
+	}
+	if got.Track == nil {
+		t.Fatal("tracker state lost in round trip")
+	}
+	if got.Track.Filter != want.Track.Filter || got.Track.HasFix != want.Track.HasFix ||
+		!got.Track.LastFix.Equal(want.Track.LastFix) {
+		t.Errorf("tracker state round trip: %+v != %+v", got.Track, want.Track)
 	}
 
 	// A nil Observed must round-trip to nil, not an empty matrix.
@@ -147,6 +165,48 @@ func TestDecodeVersionAndMagic(t *testing.T) {
 	}
 	if _, err := Decode(nil); !errors.Is(err, taflocerr.ErrSnapshotCorrupt) {
 		t.Errorf("empty input: %v", err)
+	}
+}
+
+// TestDecodeVersionPrev pins backward compatibility: a snapshot
+// written in the previous format version still decodes — calibrated
+// state intact, trajectory fields at their "not recorded" zero values —
+// and EncodeVersion refuses versions outside the supported range.
+func TestDecodeVersionPrev(t *testing.T) {
+	want := testSnapshot(t)
+	data, err := EncodeVersion(want, VersionPrev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Encode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) >= len(v2) {
+		t.Errorf("v1 encoding (%d bytes) not smaller than v2 (%d)", len(data), len(v2))
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode v%d: %v", VersionPrev, err)
+	}
+	if got.Zone != want.Zone || !got.SavedAt.Equal(want.SavedAt) {
+		t.Errorf("v1 header: %+v", got)
+	}
+	if got.Config.Window != want.Config.Window || got.Config.Detector != want.Config.Detector {
+		t.Errorf("v1 config: %+v", got.Config)
+	}
+	if !reflect.DeepEqual(got.State, want.State) {
+		t.Error("v1 system state did not round-trip exactly")
+	}
+	if got.Config.History != 0 || got.Config.Track != (track.Options{}) || got.Track != nil {
+		t.Errorf("v1 decode invented trajectory state: %+v track=%+v", got.Config, got.Track)
+	}
+
+	if _, err := EncodeVersion(want, 0); err == nil {
+		t.Error("EncodeVersion(0) succeeded")
+	}
+	if _, err := EncodeVersion(want, Version+1); err == nil {
+		t.Error("EncodeVersion(future) succeeded")
 	}
 }
 

@@ -11,6 +11,7 @@ package track
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"tafloc/internal/geom"
 )
@@ -204,4 +205,122 @@ func (f *Filter) state() State {
 		Velocity: geom.Point{X: f.x[1], Y: f.y[1]},
 		PosStd:   math.Sqrt(math.Max(0, (f.px[0][0]+f.py[0][0])/2)),
 	}
+}
+
+// FilterState is the complete serializable state of a Filter, as
+// exported by Filter.Export and consumed by NewFilterFromState — the
+// unit the persistence layer embeds in zone snapshots so a warm-started
+// zone resumes its track instead of re-initializing it.
+type FilterState struct {
+	Opts        Options
+	Initialized bool
+	Coasts      int
+	X, Y        [2]float64
+	PX, PY      [2][2]float64
+}
+
+// Export deep-copies the filter's state.
+func (f *Filter) Export() FilterState {
+	return FilterState{
+		Opts:        f.opts,
+		Initialized: f.initialized,
+		Coasts:      f.coasts,
+		X:           f.x,
+		Y:           f.y,
+		PX:          f.px,
+		PY:          f.py,
+	}
+}
+
+// NewFilterFromState rebuilds a filter from an exported state. The
+// options are re-validated, so a state decoded from a damaged snapshot
+// fails here instead of producing a filter that divides by zero.
+func NewFilterFromState(st FilterState) (*Filter, error) {
+	if err := st.Opts.Validate(); err != nil {
+		return nil, err
+	}
+	if st.Coasts < 0 {
+		return nil, fmt.Errorf("track: negative coast count %d", st.Coasts)
+	}
+	return &Filter{
+		opts:        st.Opts,
+		initialized: st.Initialized,
+		coasts:      st.Coasts,
+		x:           st.X,
+		y:           st.Y,
+		px:          st.PX,
+		py:          st.PY,
+	}, nil
+}
+
+// MinDT is the floor applied to the inter-fix interval when a Tracker
+// folds timestamped fixes: two estimates published in the same
+// nanosecond advance the motion model by this much instead of failing
+// the filter's dt > 0 precondition. The value is part of the trajectory
+// contract — replaying the same (fix, time) sequence through a fresh
+// Filter with this rule reproduces the served track bit for bit.
+const MinDT = 1e-9
+
+// Tracker folds a stream of timestamped position fixes into a smoothed
+// trajectory: it owns a Filter plus the previous fix time, deriving
+// each observation's dt from wall-clock timestamps. The first fix
+// initializes the track (the filter ignores dt there); subsequent fixes
+// use dt = at - last, floored at MinDT.
+//
+// A Tracker is not safe for concurrent use.
+type Tracker struct {
+	f       *Filter
+	hasFix  bool
+	lastFix time.Time
+}
+
+// NewTracker builds a tracker over a fresh filter.
+func NewTracker(opts Options) (*Tracker, error) {
+	f, err := NewFilter(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{f: f}, nil
+}
+
+// Observe feeds one fix taken at the given wall-clock time and returns
+// the filtered state; accepted is false when the fix failed the
+// innovation gate and the filter coasted instead.
+func (t *Tracker) Observe(fix geom.Point, at time.Time) (State, bool) {
+	if !t.hasFix {
+		t.hasFix = true
+		t.lastFix = at
+		// dt is irrelevant on the initializing fix; 1 satisfies the
+		// filter's precondition.
+		st, acc, _ := t.f.Observe(fix, 1)
+		return st, acc
+	}
+	dt := at.Sub(t.lastFix).Seconds()
+	if dt < MinDT {
+		dt = MinDT
+	}
+	t.lastFix = at
+	st, acc, _ := t.f.Observe(fix, dt)
+	return st, acc
+}
+
+// TrackerState is the serializable state of a Tracker.
+type TrackerState struct {
+	Filter  FilterState
+	HasFix  bool
+	LastFix time.Time
+}
+
+// Export deep-copies the tracker's state.
+func (t *Tracker) Export() TrackerState {
+	return TrackerState{Filter: t.f.Export(), HasFix: t.hasFix, LastFix: t.lastFix}
+}
+
+// NewTrackerFromState rebuilds a tracker from an exported state.
+func NewTrackerFromState(st TrackerState) (*Tracker, error) {
+	f, err := NewFilterFromState(st.Filter)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{f: f, hasFix: st.HasFix, lastFix: st.LastFix}, nil
 }

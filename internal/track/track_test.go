@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"tafloc/internal/geom"
 )
@@ -206,5 +207,93 @@ func TestReset(t *testing.T) {
 	st, accepted, err := f.Observe(geom.Point{X: 9, Y: 9}, 1)
 	if err != nil || !accepted || st.Position != (geom.Point{X: 9, Y: 9}) {
 		t.Fatalf("re-initialization after Reset failed: %v %v %v", st, accepted, err)
+	}
+}
+
+// TestExportRestoreRoundTrip: a restored filter continues exactly
+// where the original would — same state, same outputs for the same
+// subsequent fixes.
+func TestExportRestoreRoundTrip(t *testing.T) {
+	f, err := NewFilter(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixes := []geom.Point{{X: 1, Y: 1}, {X: 1.4, Y: 1.2}, {X: 1.8, Y: 1.4}}
+	for _, p := range fixes {
+		if _, _, err := f.Observe(p, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Export()
+	g, err := NewFilterFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := geom.Point{X: 2.2, Y: 1.6}
+	sf, af, err1 := f.Observe(next, 0.5)
+	sg, ag, err2 := g.Observe(next, 0.5)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if sf != sg || af != ag {
+		t.Errorf("restored filter diverges: %+v vs %+v", sg, sf)
+	}
+
+	// Invalid exported state fails restoration closed.
+	bad := st
+	bad.Opts.ProcessStd = 0
+	if _, err := NewFilterFromState(bad); err == nil {
+		t.Error("invalid options restored successfully")
+	}
+	bad = st
+	bad.Coasts = -1
+	if _, err := NewFilterFromState(bad); err == nil {
+		t.Error("negative coast count restored successfully")
+	}
+}
+
+// TestTrackerDtRule pins the wall-clock dt contract: the first fix
+// initializes regardless of time, later fixes use at - last, and
+// non-advancing timestamps are floored at MinDT instead of erroring.
+func TestTrackerDtRule(t *testing.T) {
+	tr, err := NewTracker(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(100, 0)
+	st, acc := tr.Observe(geom.Point{X: 1, Y: 1}, t0)
+	if !acc || st.Position != (geom.Point{X: 1, Y: 1}) {
+		t.Fatalf("initializing fix: %+v acc=%v", st, acc)
+	}
+	// Same timestamp again: must not panic or error — dt is floored.
+	tr.Observe(geom.Point{X: 1.01, Y: 1}, t0)
+	// The tracker mirrors a hand-driven filter fed the same dt sequence.
+	mirror, err := NewFilter(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror.Observe(geom.Point{X: 1, Y: 1}, 1)
+	mirror.Observe(geom.Point{X: 1.01, Y: 1}, MinDT)
+	t1 := time.Unix(101, 500_000_000)
+	stT, _ := tr.Observe(geom.Point{X: 1.5, Y: 1.3}, t1)
+	stM, _, err := mirror.Observe(geom.Point{X: 1.5, Y: 1.3}, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stT != stM {
+		t.Errorf("tracker %+v diverges from hand-driven filter %+v", stT, stM)
+	}
+
+	// Tracker state survives export/restore, including the last-fix time.
+	ts := tr.Export()
+	tr2, err := NewTrackerFromState(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := time.Unix(102, 0)
+	a, accA := tr.Observe(geom.Point{X: 2, Y: 1.6}, t2)
+	b, accB := tr2.Observe(geom.Point{X: 2, Y: 1.6}, t2)
+	if a != b || accA != accB {
+		t.Errorf("restored tracker diverges: %+v vs %+v", b, a)
 	}
 }

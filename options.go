@@ -161,6 +161,25 @@ func WithWatchHeartbeat(d time.Duration) ServiceOption {
 	return func(c *serve.Config) { c.WatchHeartbeat = d }
 }
 
+// WithHistory sets the per-zone ring depth of the published-estimate
+// history and smoothed trajectory served over GET /v2/zones/{id}/history
+// and /track (default 256). An explicit n <= 0 disables history and
+// trajectory tracking entirely; the routes then answer unsupported.
+func WithHistory(n int) ServiceOption {
+	if n <= 0 {
+		n = -1
+	}
+	return func(c *serve.Config) { c.History = n }
+}
+
+// WithTracking overrides the trajectory filter options used by every
+// zone's publish-path Kalman smoother (default tafloc.DefaultTrackOptions).
+// Invalid options fail NewService with a taflocerr error. Tracking is
+// on whenever history is (see WithHistory); this option only tunes it.
+func WithTracking(opts TrackOptions) ServiceOption {
+	return func(c *serve.Config) { c.Track = opts }
+}
+
 // WithZoneFactory enables zone creation over the /v2 HTTP surface
 // (POST /v2/zones/{id}): the factory receives the requested id and
 // ZoneSpec and returns the backing System.

@@ -43,8 +43,11 @@
 //	go http.ListenAndServe(":8750", svc.Handler())
 //	...
 //	cli, _ := client.Dial(ctx, "http://localhost:8750")
+//	rep, _ := cli.NewReporter(ctx, "lobby")   // streaming NDJSON ingest
+//	rep.Send(reports...)                      // auto-batched, acked, shed-counted
 //	ch, _ := cli.Watch(ctx, "lobby")
 //	for est := range ch { ... }
+//	pts, _ := cli.Track(ctx, "lobby", 50)     // smoothed trajectory + velocity
 //
 // See the examples directory for runnable programs, docs/API.md for the
 // HTTP protocol and error taxonomy, and EXPERIMENTS.md for the
@@ -357,12 +360,18 @@ type (
 	Service = serve.Service
 	// ServiceConfig tunes the service's queues, batching, and detection.
 	ServiceConfig = serve.Config
+	// Ingestor is the transport-agnostic ingestion surface every report
+	// transport funnels through (implemented by *Service).
+	Ingestor = serve.Ingestor
 	// ZoneReport is one RSS sample addressed to one link of a zone.
 	ZoneReport = serve.Report
 	// ZoneEstimate is a zone's most recent published position estimate.
 	ZoneEstimate = serve.Estimate
 	// ZoneStats snapshots one zone's ingest and serving counters.
 	ZoneStats = serve.ZoneStats
+	// ZoneTrackPoint is one sample of a zone's smoothed trajectory, as
+	// served by Service.Track and GET /v2/zones/{id}/track.
+	ZoneTrackPoint = serve.TrackPoint
 )
 
 // NewServiceFromConfig builds a multi-zone service from a positional
@@ -377,6 +386,12 @@ func NewServiceFromConfig(cfg ServiceConfig) *Service { return serve.New(cfg) }
 // ReportFromWire converts a decoded data-plane frame into a service
 // report.
 func ReportFromWire(r *RSSReport) ZoneReport { return serve.FromWire(r) }
+
+// IngestSink adapts an Ingestor into a collector batch sink for one
+// zone — wire it with Collector.SetBatchSink so UDP batch datagrams
+// travel the serving layer's shared ingest path (validation, load
+// shedding, and counters identical to HTTP ingest).
+func IngestSink(ing Ingestor, zone string) func([]RSSReport) { return serve.IngestSink(ing, zone) }
 
 // SetWorkers sets the worker count used by the parallel reconstruction
 // and matching kernels and returns the previous setting; n <= 0 restores
