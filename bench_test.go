@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -403,6 +404,144 @@ func BenchmarkStreamIngest(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N*reportsPerBatch)/b.Elapsed().Seconds(), "reports/s")
 	})
+}
+
+// BenchmarkLocateParallel pins the point of the Model split: locate
+// throughput against ONE shared immutable Model from 1, 4, and
+// GOMAXPROCS concurrent workers, each with its own reused Scratch. The
+// read plane is an atomic pointer load plus lock-free matching into
+// pooled buffers, so throughput should scale near-linearly with the
+// worker count (the acceptance bar is >=2x at 4 workers vs 1). The mat
+// kernels are pinned to one worker so the benchmark measures
+// cross-request scaling, not intra-request fan-out.
+func BenchmarkLocateParallel(b *testing.B) {
+	dep, err := tafloc.NewDeployment(tafloc.SquareConfig(12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := tafloc.OpenDeployment(dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := sys.Model()
+	const probes = 16
+	var ys [][]float64
+	for k := 0; k < probes; k++ {
+		p := tafloc.Point{X: 0.5 + 11.0*float64(k)/probes, Y: 0.5 + 11.0*float64((k*5)%probes)/probes}
+		ys = append(ys, dep.Channel.MeasureLive(p, 0))
+	}
+	prev := tafloc.SetWorkers(1)
+	defer tafloc.SetWorkers(prev)
+	workerSet := []int{1, 4}
+	if gmp := runtime.GOMAXPROCS(0); gmp != 1 && gmp != 4 {
+		workerSet = append(workerSet, gmp)
+	}
+	for _, workers := range workerSet {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var wg sync.WaitGroup
+			var next atomic.Int64
+			b.ResetTimer()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					sc := tafloc.NewScratch()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= b.N {
+							return
+						}
+						if _, err := model.Locate(ys[(i+w)%probes], sc); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "locates/s")
+		})
+	}
+}
+
+// BenchmarkManyZones measures the scheduler tentpole at fleet scale:
+// 1000 zones on one service, sparse traffic (each op lands one report
+// batch on one rotating zone). Under the worker-per-zone design this
+// fleet cost 1000 parked goroutines; with the shared locate-executor
+// pool the idle zones cost nothing and the pool does all the work. The
+// zones share one calibrated System — safe now that the read plane is
+// an immutable Model — so setup stays cheap. One op = one accepted
+// batch (6 reports).
+func BenchmarkManyZones(b *testing.B) {
+	const zones = 1000
+	const preparedBatches = 32
+	cfg := tafloc.PaperConfig()
+	cfg.RoomW, cfg.RoomH = 3.6, 2.4
+	cfg.Links = 6
+	cfg.SamplesPerCell = 5
+	dep, err := tafloc.NewDeployment(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := tafloc.OpenDeployment(dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := tafloc.NewService(
+		tafloc.WithWindow(4),
+		tafloc.WithDetectThreshold(0.25),
+		tafloc.WithZoneQueue(64),
+		tafloc.WithHistory(0),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]string, zones)
+	for z := 0; z < zones; z++ {
+		ids[z] = fmt.Sprintf("zone-%04d", z)
+		if err := svc.AddZone(ids[z], sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var batches [][]tafloc.ZoneReport
+	for k := 0; k < preparedBatches; k++ {
+		p := tafloc.Point{X: 0.3 + 3.0*float64(k)/preparedBatches, Y: 0.3 + 1.8*float64(k%7)/7}
+		y := dep.Channel.MeasureLive(p, 0)
+		batch := make([]tafloc.ZoneReport, len(y))
+		for i, v := range y {
+			batch[i] = tafloc.ZoneReport{Link: i, RSS: v}
+		}
+		batches = append(batches, batch)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := svc.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	goroutines := runtime.NumGoroutine()
+	var stream atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(stream.Add(1)) * 7919
+		for pb.Next() {
+			id := ids[i%zones]
+			batch := append([]tafloc.ZoneReport(nil), batches[i%preparedBatches]...)
+			for svc.Report(id, batch) != nil {
+				time.Sleep(10 * time.Microsecond)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	var received uint64
+	for _, st := range svc.Stats() {
+		received += st.Received
+	}
+	b.ReportMetric(float64(received)/b.Elapsed().Seconds(), "reports/s")
+	b.ReportMetric(float64(goroutines), "goroutines")
+	cancel()
+	svc.Wait()
 }
 
 // BenchmarkServeThroughput measures sustainable end-to-end ingest of the

@@ -141,6 +141,7 @@ func main() {
 	detector := flag.String("detector", "mad",
 		fmt.Sprintf("presence detector %v", tafloc.DetectorNames()))
 	sim := flag.Bool("sim", true, "drive simulated targets through every zone via the client SDK")
+	locateWorkers := flag.Int("locate-workers", 0, "shared locate-executor pool size; zones are goroutine-free state machines scheduled onto it (0 = GOMAXPROCS, negative = single worker)")
 	stateDir := flag.String("state-dir", "", "directory for deployment snapshots: checkpoint zones there and warm-restore them on boot")
 	checkpoint := flag.Duration("checkpoint", 30*time.Second, "checkpoint interval when -state-dir is set")
 	flag.Parse()
@@ -157,12 +158,16 @@ func main() {
 	}
 
 	factory := &zoneFactory{matcher: *matcher, days: *days, deps: make(map[string]*tafloc.Deployment)}
-	svc, err := tafloc.NewService(
+	opts := []tafloc.ServiceOption{
 		tafloc.WithWindow(*window),
 		tafloc.WithDetectThreshold(*threshold),
 		tafloc.WithDetector(*detector),
 		tafloc.WithZoneFactory(factory.build),
-	)
+	}
+	if *locateWorkers != 0 {
+		opts = append(opts, tafloc.WithLocateWorkers(*locateWorkers))
+	}
+	svc, err := tafloc.NewService(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

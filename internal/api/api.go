@@ -77,6 +77,15 @@ type ZoneStats struct {
 	// MatchErrors advances while Estimates stalls is misconfigured, not
 	// warming up.
 	MatchErrors uint64 `json:"match_errors,omitempty"`
+	// Starved counts fold rounds that produced no estimate because some
+	// link had never reported: the distinction between "no estimate
+	// because nothing is happening" and "no estimate because part of the
+	// deployment is silent". It normally ticks a few times during
+	// warm-up (per-link transports deliver the first full coverage over
+	// several rounds) and then stops; a zone whose Starved KEEPS
+	// advancing while Estimates stays zero has a dead or misaddressed
+	// link, not an empty room.
+	Starved uint64 `json:"starved,omitempty"`
 	// QueueLen is the instantaneous number of pending batches.
 	QueueLen int `json:"queue_len"`
 }

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"tafloc/internal/geom"
 	"tafloc/internal/mat"
@@ -24,13 +24,17 @@ type Location struct {
 	Confidence float64
 }
 
-// Matcher compares a live measurement vector against a fingerprint
-// database and produces a location estimate. Implementations must be safe
-// for concurrent use after construction.
+// Matcher compares a live measurement vector against a zone's immutable
+// Model and produces a location estimate. Implementations must be safe
+// for concurrent use after construction: the Model carries every piece
+// of shared read state (database, grid, observed mask), and all mutable
+// per-call state lives in the Scratch, so the same Matcher value may
+// serve any number of goroutines at once.
 type Matcher interface {
 	// Match locates the measurement vector y (length M) against the
-	// fingerprint matrix x (M x N) over the grid.
-	Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Location, error)
+	// model. sc holds the reusable working buffers; implementations must
+	// tolerate nil by borrowing from the shared pool.
+	Match(m *Model, y []float64, sc *Scratch) (Location, error)
 }
 
 // NNMatcher is the plain nearest-neighbour matcher: the estimated
@@ -39,18 +43,23 @@ type Matcher interface {
 type NNMatcher struct{}
 
 // Match implements Matcher.
-func (NNMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Location, error) {
-	if err := checkMatch(x, grid, y); err != nil {
+func (NNMatcher) Match(m *Model, y []float64, sc *Scratch) (Location, error) {
+	if err := checkMatch(m, y); err != nil {
 		return Location{}, err
 	}
-	dists := columnDists(x, y)
+	if sc == nil {
+		sc = GetScratch()
+		defer PutScratch(sc)
+	}
+	dists := sc.distances(m.x.Cols())
+	columnDistsInto(dists, m.x, y)
 	best, bestD := -1, math.Inf(1)
 	for j, d := range dists {
 		if d < bestD {
 			best, bestD = j, d
 		}
 	}
-	return Location{Cell: best, Point: grid.Center(best), Distance: bestD}, nil
+	return Location{Cell: best, Point: m.layout.Grid.Center(best), Distance: bestD}, nil
 }
 
 // KNNMatcher refines the estimate to sub-cell granularity by averaging
@@ -62,33 +71,34 @@ type KNNMatcher struct {
 }
 
 // Match implements Matcher.
-func (m KNNMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Location, error) {
-	if err := checkMatch(x, grid, y); err != nil {
+func (km KNNMatcher) Match(m *Model, y []float64, sc *Scratch) (Location, error) {
+	if err := checkMatch(m, y); err != nil {
 		return Location{}, err
 	}
-	k := m.K
+	if sc == nil {
+		sc = GetScratch()
+		defer PutScratch(sc)
+	}
+	k := km.K
 	if k <= 0 {
 		k = 3
 	}
-	if k > x.Cols() {
-		k = x.Cols()
+	if k > m.x.Cols() {
+		k = m.x.Cols()
 	}
-	dists := columnDists(x, y)
-	type cand struct {
-		j int
-		d float64
-	}
-	cands := make([]cand, x.Cols())
+	dists := sc.distances(m.x.Cols())
+	columnDistsInto(dists, m.x, y)
+	cands := sc.candidates(m.x.Cols())
 	for j, d := range dists {
 		cands[j] = cand{j, d}
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	sortCands(cands)
 	var wsum float64
 	var px, py float64
 	const eps = 1e-6
 	for _, c := range cands[:k] {
 		w := 1 / (c.d + eps)
-		p := grid.Center(c.j)
+		p := m.layout.Grid.Center(c.j)
 		px += w * p.X
 		py += w * p.Y
 		wsum += w
@@ -111,17 +121,22 @@ type BayesMatcher struct {
 }
 
 // Match implements Matcher.
-func (m BayesMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Location, error) {
-	if err := checkMatch(x, grid, y); err != nil {
+func (bm BayesMatcher) Match(m *Model, y []float64, sc *Scratch) (Location, error) {
+	if err := checkMatch(m, y); err != nil {
 		return Location{}, err
 	}
-	sigma := m.SigmaDB
+	if sc == nil {
+		sc = GetScratch()
+		defer PutScratch(sc)
+	}
+	sigma := bm.SigmaDB
 	if sigma <= 0 {
 		sigma = 2
 	}
-	n := x.Cols()
-	dists := columnDists(x, y)
-	logp := make([]float64, n)
+	n := m.x.Cols()
+	dists := sc.distances(n)
+	columnDistsInto(dists, m.x, y)
+	logp, post := sc.posteriors(n)
 	maxLog := math.Inf(-1)
 	for j := 0; j < n; j++ {
 		d := dists[j]
@@ -131,7 +146,6 @@ func (m BayesMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Locati
 		}
 	}
 	var total float64
-	post := make([]float64, n)
 	for j := range post {
 		post[j] = math.Exp(logp[j] - maxLog)
 		total += post[j]
@@ -143,7 +157,7 @@ func (m BayesMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Locati
 		if post[j] > bestP {
 			best, bestP = j, post[j]
 		}
-		p := grid.Center(j)
+		p := m.layout.Grid.Center(j)
 		px += post[j] * p.X
 		py += post[j] * p.Y
 	}
@@ -163,10 +177,9 @@ func (m BayesMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Locati
 // a few dB of error) refine it with an appropriate discount. The exact
 // entries give an implicit triangulation: a candidate cell whose covered
 // link set disagrees with the live vector is rejected on near-noiseless
-// evidence.
+// evidence. The observed-entry mask travels in the Model, so one matcher
+// value serves every calibration generation.
 type WeightedKNNMatcher struct {
-	// Observed marks measured entries (same shape as the database).
-	Observed *mat.Matrix
 	// ObsSigmaDB is the error std of measured entries (default 0.5).
 	ObsSigmaDB float64
 	// RecSigmaDB is the error std of reconstructed entries (default 4).
@@ -188,62 +201,43 @@ type WeightedKNNMatcher struct {
 }
 
 // Match implements Matcher.
-func (m WeightedKNNMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (Location, error) {
-	if err := checkMatch(x, grid, y); err != nil {
+func (wm WeightedKNNMatcher) Match(m *Model, y []float64, sc *Scratch) (Location, error) {
+	if err := checkMatch(m, y); err != nil {
 		return Location{}, err
 	}
-	obsSigma := m.ObsSigmaDB
+	if sc == nil {
+		sc = GetScratch()
+		defer PutScratch(sc)
+	}
+	obsSigma := wm.ObsSigmaDB
 	if obsSigma <= 0 {
 		obsSigma = 0.5
 	}
-	recSigma := m.RecSigmaDB
+	recSigma := wm.RecSigmaDB
 	if recSigma <= 0 {
 		recSigma = 4
 	}
-	liveSigma := m.LiveSigmaDB
+	liveSigma := wm.LiveSigmaDB
 	if liveSigma <= 0 {
 		liveSigma = 0.7
 	}
-	if m.Observed != nil {
-		if m.Observed.Rows() != x.Rows() || m.Observed.Cols() != x.Cols() {
-			return Location{}, fmt.Errorf("core: observed mask %dx%d does not match database %dx%d",
-				m.Observed.Rows(), m.Observed.Cols(), x.Rows(), x.Cols())
-		}
-	}
 	wObs := 1 / (obsSigma*obsSigma + liveSigma*liveSigma)
 	wRec := 1 / (recSigma*recSigma + liveSigma*liveSigma)
-	dist := func(j int) float64 {
-		var s float64
-		for i := 0; i < x.Rows(); i++ {
-			d := x.At(i, j) - y[i]
-			w := wObs
-			if m.Observed != nil && m.Observed.At(i, j) == 0 {
-				w = wRec
-			}
-			s += w * d * d
-		}
-		return math.Sqrt(s)
-	}
-	k := m.K
+	x, obs, grid := m.x, m.observed, m.layout.Grid
+	k := wm.K
 	if k <= 0 {
 		k = 3
 	}
 	if k > x.Cols() {
 		k = x.Cols()
 	}
-	type cand struct {
-		j int
-		d float64
+	dists := sc.distances(x.Cols())
+	weightedDistsInto(dists, x, obs, y, wObs, wRec)
+	cands := sc.candidates(x.Cols())
+	for j, d := range dists {
+		cands[j] = cand{j, d}
 	}
-	cands := make([]cand, x.Cols())
-	// Per-cell fan-out: every candidate cell's weighted distance is an
-	// independent work item.
-	mat.ParallelFor(x.Cols(), matchChunk(x.Rows()), func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			cands[j] = cand{j, dist(j)}
-		}
-	})
-	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	sortCands(cands)
 	var wsum, px, py float64
 	const eps = 1e-6
 	for _, c := range cands[:k] {
@@ -258,7 +252,7 @@ func (m WeightedKNNMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (
 		Point:    geom.Point{X: px / wsum, Y: py / wsum},
 		Distance: cands[0].d,
 	}
-	if !m.Refine {
+	if !wm.Refine {
 		return loc, nil
 	}
 	// Sub-cell refinement: the paper's continuity property means the
@@ -266,26 +260,25 @@ func (m WeightedKNNMatcher) Match(x *mat.Matrix, grid *geom.Grid, y []float64) (
 	// database supports bilinear interpolation to a virtual fine grid. A
 	// local search around the coarse estimate picks the continuous
 	// position whose interpolated fingerprint best explains y.
-	radius := m.RefineRadiusM
+	radius := wm.RefineRadiusM
 	if radius <= 0 {
 		radius = 0.9
 	}
-	step := m.RefineStepM
+	step := wm.RefineStepM
 	if step <= 0 {
 		step = 0.1
 	}
 	center := grid.Center(loc.Cell)
 	bestP := loc.Point
 	bestD := math.Inf(1)
-	f := make([]float64, x.Rows())
-	fObs := make([]bool, x.Rows())
+	f, fObs := sc.interp(x.Rows())
 	for dx := -radius; dx <= radius; dx += step {
 		for dy := -radius; dy <= radius; dy += step {
 			p := geom.Point{X: center.X + dx, Y: center.Y + dy}
 			if p.X < 0 || p.X > grid.Width || p.Y < 0 || p.Y > grid.Height {
 				continue
 			}
-			interpFingerprint(x, m.Observed, grid, p, f, fObs)
+			interpFingerprint(x, obs, grid, p, f, fObs)
 			var s float64
 			for i := range f {
 				d := f[i] - y[i]
@@ -381,6 +374,22 @@ func (d Detector) Present(y []float64) (bool, float64) {
 	return dev > thr, dev
 }
 
+// sortCands orders candidates by ascending distance — the same
+// comparison the matchers have always used, so sorted output (and thus
+// every location estimate) is unchanged by the scratch refactor.
+func sortCands(cands []cand) {
+	slices.SortFunc(cands, func(a, b cand) int {
+		switch {
+		case a.d < b.d:
+			return -1
+		case b.d < a.d:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
 func columnDist(x *mat.Matrix, j int, y []float64) float64 {
 	var s float64
 	for i := 0; i < x.Rows(); i++ {
@@ -390,17 +399,57 @@ func columnDist(x *mat.Matrix, j int, y []float64) float64 {
 	return math.Sqrt(s)
 }
 
-// columnDists computes the Euclidean distance from y to every fingerprint
-// column, fanning the per-cell work items out across the mat worker pool
-// when the database is large enough to pay for it.
-func columnDists(x *mat.Matrix, y []float64) []float64 {
-	dists := make([]float64, x.Cols())
-	mat.ParallelFor(x.Cols(), matchChunk(x.Rows()), func(lo, hi int) {
+// columnDistsInto fills dst with the Euclidean distance from y to every
+// fingerprint column, fanning the per-cell work items out across the mat
+// worker pool when the database is large enough to pay for it. The
+// single-chunk case runs as a plain loop — no goroutines, no closure —
+// so small-database matching allocates nothing; either way every element
+// is computed with identical per-element arithmetic, so results are
+// bitwise independent of the worker count.
+func columnDistsInto(dst []float64, x *mat.Matrix, y []float64) {
+	n := x.Cols()
+	if !mat.FanOut(n, matchChunk(x.Rows())) {
+		for j := 0; j < n; j++ {
+			dst[j] = columnDist(x, j, y)
+		}
+		return
+	}
+	mat.ParallelFor(n, matchChunk(x.Rows()), func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			dists[j] = columnDist(x, j, y)
+			dst[j] = columnDist(x, j, y)
 		}
 	})
-	return dists
+}
+
+// weightedDistsInto is columnDistsInto with per-entry inverse-variance
+// weights: wObs for observed (measured) entries, wRec for reconstructed
+// ones. A nil observed mask weighs every entry wObs.
+func weightedDistsInto(dst []float64, x, obs *mat.Matrix, y []float64, wObs, wRec float64) {
+	n := x.Cols()
+	if !mat.FanOut(n, matchChunk(x.Rows())) {
+		for j := 0; j < n; j++ {
+			dst[j] = weightedDist(x, obs, j, y, wObs, wRec)
+		}
+		return
+	}
+	mat.ParallelFor(n, matchChunk(x.Rows()), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dst[j] = weightedDist(x, obs, j, y, wObs, wRec)
+		}
+	})
+}
+
+func weightedDist(x, obs *mat.Matrix, j int, y []float64, wObs, wRec float64) float64 {
+	var s float64
+	for i := 0; i < x.Rows(); i++ {
+		d := x.At(i, j) - y[i]
+		w := wObs
+		if obs != nil && obs.At(i, j) == 0 {
+			w = wRec
+		}
+		s += w * d * d
+	}
+	return math.Sqrt(s)
 }
 
 // matchChunk sizes per-cell matching chunks: ~4 flops per link entry
@@ -412,15 +461,12 @@ func matchChunk(links int) int {
 	return mat.ChunkFor(4 * links)
 }
 
-func checkMatch(x *mat.Matrix, grid *geom.Grid, y []float64) error {
-	if x == nil || x.Cols() == 0 {
-		return fmt.Errorf("core: empty fingerprint matrix")
+func checkMatch(m *Model, y []float64) error {
+	if m == nil || m.x == nil || m.x.Cols() == 0 {
+		return fmt.Errorf("core: nil model or empty fingerprint matrix")
 	}
-	if grid == nil || grid.Cells() != x.Cols() {
-		return fmt.Errorf("core: grid/matrix mismatch")
-	}
-	if len(y) != x.Rows() {
-		return fmt.Errorf("core: measurement length %d != links %d", len(y), x.Rows())
+	if len(y) != m.x.Rows() {
+		return fmt.Errorf("core: measurement length %d != links %d", len(y), m.x.Rows())
 	}
 	return nil
 }

@@ -15,13 +15,25 @@ type matchFixture struct {
 	l     *Layout
 	truth *mat.Matrix
 	vac   []float64
+	m     *Model
+}
+
+// mustModel wraps a bare database and layout as an immutable Model, the
+// unit every matcher now operates on.
+func mustModel(t testing.TB, l *Layout, x *mat.Matrix) *Model {
+	t.Helper()
+	m, err := NewModel(l, x, nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }
 
 func newMatchFixture(t *testing.T, seed int64) *matchFixture {
 	t.Helper()
 	l := testLayout(t)
 	truth, vac := syntheticTruth(l, rand.New(rand.NewSource(seed)))
-	return &matchFixture{l: l, truth: truth, vac: vac}
+	return &matchFixture{l: l, truth: truth, vac: vac, m: mustModel(t, l, truth)}
 }
 
 // liveAt synthesizes the noise-free measurement vector for a target at p
@@ -44,7 +56,7 @@ func TestNNMatcherExactColumns(t *testing.T) {
 	f := newMatchFixture(t, 1)
 	// A measurement equal to a fingerprint column must match that cell.
 	for _, j := range []int{0, 17, f.l.N() / 2, f.l.N() - 1} {
-		loc, err := NNMatcher{}.Match(f.truth, f.l.Grid, f.truth.Col(j))
+		loc, err := NNMatcher{}.Match(f.m, f.truth.Col(j), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,7 +86,7 @@ func TestNNMatcherNoisyMeasurement(t *testing.T) {
 		for i := range y {
 			y[i] += 0.4 * rng.NormFloat64()
 		}
-		loc, err := NNMatcher{}.Match(f.truth, f.l.Grid, y)
+		loc, err := NNMatcher{}.Match(f.m, y, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +102,7 @@ func TestKNNMatcherSubCellRefinement(t *testing.T) {
 	// Target off cell centres: KNN should produce a point estimate whose
 	// error is no worse than a cell diagonal.
 	p := geom.Point{X: 2.05, Y: 2.35}
-	loc, err := KNNMatcher{K: 3}.Match(f.truth, f.l.Grid, f.liveAt(p))
+	loc, err := KNNMatcher{K: 3}.Match(f.m, f.liveAt(p), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,10 +114,10 @@ func TestKNNMatcherSubCellRefinement(t *testing.T) {
 func TestKNNMatcherDefaultsAndClamps(t *testing.T) {
 	f := newMatchFixture(t, 5)
 	y := f.truth.Col(10)
-	if _, err := (KNNMatcher{}).Match(f.truth, f.l.Grid, y); err != nil {
+	if _, err := (KNNMatcher{}).Match(f.m, y, nil); err != nil {
 		t.Fatalf("zero K: %v", err)
 	}
-	if _, err := (KNNMatcher{K: 10000}).Match(f.truth, f.l.Grid, y); err != nil {
+	if _, err := (KNNMatcher{K: 10000}).Match(f.m, y, nil); err != nil {
 		t.Fatalf("huge K: %v", err)
 	}
 }
@@ -113,7 +125,7 @@ func TestKNNMatcherDefaultsAndClamps(t *testing.T) {
 func TestBayesMatcherConfidence(t *testing.T) {
 	f := newMatchFixture(t, 6)
 	j := 30
-	loc, err := BayesMatcher{SigmaDB: 1}.Match(f.truth, f.l.Grid, f.truth.Col(j))
+	loc, err := BayesMatcher{SigmaDB: 1}.Match(f.m, f.truth.Col(j), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +150,7 @@ func TestBayesMatcherPosteriorCentroidInsideArea(t *testing.T) {
 		for i := range y {
 			y[i] += rng.NormFloat64()
 		}
-		loc, err := BayesMatcher{}.Match(f.truth, f.l.Grid, y)
+		loc, err := BayesMatcher{}.Match(f.m, y, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -152,16 +164,44 @@ func TestBayesMatcherPosteriorCentroidInsideArea(t *testing.T) {
 func TestMatchersValidateInput(t *testing.T) {
 	f := newMatchFixture(t, 9)
 	short := make([]float64, 3)
-	for _, m := range []Matcher{NNMatcher{}, KNNMatcher{}, BayesMatcher{}} {
-		if _, err := m.Match(f.truth, f.l.Grid, short); err == nil {
+	for _, m := range []Matcher{NNMatcher{}, KNNMatcher{}, BayesMatcher{}, WeightedKNNMatcher{}} {
+		if _, err := m.Match(f.m, short, nil); err == nil {
 			t.Fatalf("%T accepted short measurement", m)
 		}
-		if _, err := m.Match(nil, f.l.Grid, f.vac); err == nil {
-			t.Fatalf("%T accepted nil matrix", m)
+		if _, err := m.Match(nil, f.vac, nil); err == nil {
+			t.Fatalf("%T accepted nil model", m)
 		}
-		if _, err := m.Match(f.truth, nil, f.vac); err == nil {
-			t.Fatalf("%T accepted nil grid", m)
-		}
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	f := newMatchFixture(t, 12)
+	if _, err := NewModel(nil, f.truth, nil, nil, nil, nil); err == nil {
+		t.Error("nil layout accepted")
+	}
+	if _, err := NewModel(f.l, mat.New(2, 2), nil, nil, nil, nil); err == nil {
+		t.Error("wrong database shape accepted")
+	}
+	if _, err := NewModel(f.l, f.truth, mat.New(2, 2), nil, nil, nil); err == nil {
+		t.Error("wrong observed shape accepted")
+	}
+	if _, err := NewModel(f.l, f.truth, nil, f.vac[:2], nil, nil); err == nil {
+		t.Error("wrong vacant length accepted")
+	}
+	if _, err := NewModel(f.l, f.truth, nil, nil, []int{-1}, nil); err == nil {
+		t.Error("out-of-range reference accepted")
+	}
+	m, err := NewModel(f.l, f.truth, nil, f.vac, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Matcher().(WeightedKNNMatcher); !ok {
+		t.Errorf("nil matcher resolved to %T, want WeightedKNNMatcher", m.Matcher())
+	}
+	refs := m.References()
+	refs[0] = -99
+	if m.References()[0] == -99 {
+		t.Error("References leaked internal state")
 	}
 }
 

@@ -64,6 +64,7 @@ func TestParallelMatchMatchesSerial(t *testing.T) {
 	for i := range y {
 		y[i] += 0.3 * rng.NormFloat64()
 	}
+	model := mustModel(t, layout, truth)
 	matchers := []Matcher{
 		NNMatcher{},
 		KNNMatcher{K: 4},
@@ -72,9 +73,9 @@ func TestParallelMatchMatchesSerial(t *testing.T) {
 	}
 	for _, m := range matchers {
 		prev := mat.SetWorkers(1)
-		serial, err1 := m.Match(truth, grid, y)
+		serial, err1 := m.Match(model, y, NewScratch())
 		mat.SetWorkers(8)
-		parallel, err2 := m.Match(truth, grid, y)
+		parallel, err2 := m.Match(model, y, NewScratch())
 		mat.SetWorkers(prev)
 		if err1 != nil || err2 != nil {
 			t.Fatalf("%T: %v / %v", m, err1, err2)

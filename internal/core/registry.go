@@ -18,10 +18,11 @@ const (
 	MatcherKNN = "knn"
 	// MatcherBayes is the probabilistic matcher with posterior confidences.
 	MatcherBayes = "bayes"
-	// MatcherWKNN is the mask-aware weighted k-NN matcher. Inside a
-	// System this name selects the built-in path that threads the
-	// observed-entry mask through updates; standalone it yields a
-	// WeightedKNNMatcher without a mask.
+	// MatcherWKNN is the mask-aware weighted k-NN matcher. The
+	// observed-entry mask travels in the Model the matcher is applied
+	// to, so every WeightedKNNMatcher — built-in, registry-built, or
+	// injected — weighs measured entries above reconstructed ones on a
+	// post-update Model and runs unmasked on a Model without one.
 	MatcherWKNN = "wknn"
 
 	// DetectorMAD gates presence on the mean absolute deviation from the

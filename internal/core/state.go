@@ -41,10 +41,11 @@ type SystemState struct {
 
 // ExportState captures the system's calibrated state as an independent
 // deep copy; the system may keep serving (and updating) while the copy is
-// serialized.
+// serialized. The export reads one immutable Model, so a snapshot taken
+// mid-update is always internally consistent — entirely the old
+// calibration or entirely the new, never a torn mix.
 func (s *System) ExportState() *SystemState {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	m := s.model.Load()
 	st := &SystemState{
 		Links:           append([]geom.Segment(nil), s.layout.Links...),
 		GridWidth:       s.layout.Grid.Width,
@@ -57,12 +58,12 @@ func (s *System) ExportState() *SystemState {
 		RecSigmaDB:      s.opts.RecSigmaDB,
 		MaskThresholdDB: s.opts.MaskThresholdDB,
 		Mask:            s.recon.Mask().Clone(),
-		X:               s.x.Clone(),
-		Vacant:          append([]float64(nil), s.vacant...),
-		RefCells:        append([]int(nil), s.refs...),
+		X:               m.x.Clone(),
+		Vacant:          append([]float64(nil), m.vacant...),
+		RefCells:        append([]int(nil), m.refs...),
 	}
-	if s.observed != nil {
-		st.Observed = s.observed.Clone()
+	if m.observed != nil {
+		st.Observed = m.observed.Clone()
 	}
 	return st
 }
@@ -130,15 +131,17 @@ func RestoreSystem(st *SystemState) (*System, error) {
 		opts.Matcher = mm
 	}
 	sys := &System{
-		layout: layout,
-		opts:   opts,
-		recon:  recon,
-		x:      st.X.Clone(),
-		vacant: append([]float64(nil), st.Vacant...),
-		refs:   append([]int(nil), st.RefCells...),
+		layout:  layout,
+		opts:    opts,
+		recon:   recon,
+		matcher: resolveMatcher(opts),
 	}
+	var observed *mat.Matrix
 	if st.Observed != nil {
-		sys.observed = st.Observed.Clone()
+		observed = st.Observed.Clone()
 	}
+	sys.install(st.X.Clone(), observed,
+		append([]float64(nil), st.Vacant...),
+		append([]int(nil), st.RefCells...))
 	return sys, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tafloc/internal/mat"
 	"tafloc/taflocerr"
@@ -16,8 +17,8 @@ type SystemOptions struct {
 	// Refs controls reference-location selection.
 	Refs ReferenceOptions
 	// Matcher locates live measurements. Nil selects the built-in
-	// mask-aware WeightedKNNMatcher, which tracks which database entries
-	// are measured vs reconstructed across updates.
+	// mask-aware WeightedKNNMatcher, which reads the observed-entry mask
+	// from the current Model on every call.
 	Matcher Matcher
 	// MatcherName selects a matcher from the registry by name when
 	// Matcher is nil. The name "wknn" (or empty) keeps the built-in
@@ -44,22 +45,25 @@ func DefaultSystemOptions() SystemOptions {
 	}
 }
 
-// System is the end-to-end TafLoc pipeline: it holds the current
-// fingerprint database, selects reference locations, performs low-cost
-// updates via LoLi-IR, and localizes live measurements.
-//
-// A System is safe for concurrent use: Locate may be called while Update
-// runs (Update installs the new database atomically).
+// System is the end-to-end TafLoc pipeline, split into two planes. The
+// calibration plane (this struct) owns the LoLi-IR reconstructor and the
+// construction options; it is the only writer. The read plane is an
+// immutable Model — radio map, geometry, observed mask, matcher, and
+// vacant baseline frozen together — published through an atomic pointer.
+// Locate never takes a lock: it loads the current Model and matches
+// against it, so any number of goroutines can localize concurrently
+// while Update reconstructs; Update builds a complete new Model and
+// swaps the pointer (RCU style), leaving in-flight readers on the old
+// one. Calibration writers (Update, Reselect) serialize on an internal
+// mutex.
 type System struct {
-	layout *Layout
-	opts   SystemOptions
-	recon  *Reconstructor
+	layout  *Layout
+	opts    SystemOptions
+	recon   *Reconstructor
+	matcher Matcher // resolved once at construction; never nil
 
-	mu       sync.RWMutex
-	x        *mat.Matrix // current fingerprint database
-	observed *mat.Matrix // nil = every entry measured (full survey)
-	vacant   []float64   // latest vacant baseline
-	refs     []int       // current reference cells
+	calMu sync.Mutex // serializes calibration writers
+	model atomic.Pointer[Model]
 }
 
 // NewSystem builds a System from the day-0 full survey.
@@ -108,61 +112,78 @@ func NewSystem(layout *Layout, survey *mat.Matrix, vacant []float64, opts System
 		}
 		opts.Matcher = m
 	}
-	v := append([]float64(nil), vacant...)
-	return &System{
-		layout: layout,
-		opts:   opts,
-		recon:  recon,
-		x:      survey.Clone(),
-		vacant: v,
-		refs:   refs,
-	}, nil
+	s := &System{
+		layout:  layout,
+		opts:    opts,
+		recon:   recon,
+		matcher: resolveMatcher(opts),
+	}
+	s.install(survey.Clone(), nil, append([]float64(nil), vacant...), refs)
+	return s, nil
+}
+
+// resolveMatcher picks the concrete matcher a System localizes with: an
+// injected implementation wins, otherwise the built-in mask-aware
+// weighted matcher (the observed mask itself travels in each Model).
+func resolveMatcher(opts SystemOptions) Matcher {
+	if opts.Matcher != nil {
+		return opts.Matcher
+	}
+	return WeightedKNNMatcher{RecSigmaDB: opts.RecSigmaDB}
+}
+
+// install publishes a new immutable Model assembled from freshly built
+// (never again mutated) parts.
+func (s *System) install(x, observed *mat.Matrix, vacant []float64, refs []int) {
+	s.model.Store(&Model{
+		layout:   s.layout,
+		x:        x,
+		observed: observed,
+		vacant:   vacant,
+		refs:     refs,
+		matcher:  s.matcher,
+	})
 }
 
 // Layout returns the deployment geometry.
 func (s *System) Layout() *Layout { return s.layout }
+
+// Model returns the current immutable read plane. The Model never
+// changes after publication, so the caller may localize against it from
+// any number of goroutines, and may keep using it after a concurrent
+// Update swaps in a successor (it then serves the older calibration).
+func (s *System) Model() *Model { return s.model.Load() }
 
 // Mask returns the undistorted-entry mask the system reconstructs with
 // (1 = undistorted; learned from the day-0 survey by default).
 func (s *System) Mask() *mat.Matrix { return s.recon.Mask().Clone() }
 
 // References returns the current reference cell indices (copy).
-func (s *System) References() []int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]int(nil), s.refs...)
-}
+func (s *System) References() []int { return s.model.Load().References() }
 
 // Fingerprints returns a copy of the current fingerprint database.
-func (s *System) Fingerprints() *mat.Matrix {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.x.Clone()
-}
+func (s *System) Fingerprints() *mat.Matrix { return s.model.Load().Fingerprints() }
 
 // Vacant returns a copy of the current vacant baseline.
-func (s *System) Vacant() []float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]float64(nil), s.vacant...)
-}
+func (s *System) Vacant() []float64 { return s.model.Load().Vacant() }
 
 // Update performs a TafLoc low-cost fingerprint update: given fresh
 // measurements at the reference locations (refCols, M x len(refs) in
 // the order returned by References) and a fresh vacant capture, it
-// reconstructs the whole database with LoLi-IR and installs it.
+// reconstructs the whole database with LoLi-IR and publishes it as a
+// new Model.
 func (s *System) Update(refCols *mat.Matrix, vacant []float64) (*Reconstruction, error) {
 	return s.UpdateContext(context.Background(), refCols, vacant)
 }
 
 // UpdateContext is Update with cancellation: the LoLi-IR solver checks
 // ctx once per outer iteration, so a long reconstruction terminates
-// promptly when ctx is cancelled and the previous database stays
-// installed.
+// promptly when ctx is cancelled and the previous Model stays
+// published.
 func (s *System) UpdateContext(ctx context.Context, refCols *mat.Matrix, vacant []float64) (*Reconstruction, error) {
-	s.mu.RLock()
-	refs := append([]int(nil), s.refs...)
-	s.mu.RUnlock()
+	s.calMu.Lock()
+	defer s.calMu.Unlock()
+	refs := s.model.Load().refs
 
 	rec, err := s.recon.ReconstructContext(ctx, UpdateInput{
 		RefIdx:  refs,
@@ -172,36 +193,34 @@ func (s *System) UpdateContext(ctx context.Context, refCols *mat.Matrix, vacant 
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.x = rec.X
-	s.observed = rec.Observed
-	s.vacant = append([]float64(nil), vacant...)
-	s.mu.Unlock()
+	s.install(rec.X, rec.Observed, append([]float64(nil), vacant...), refs)
 	return rec, nil
 }
 
 // Reselect re-derives the reference set from the current database, e.g.
-// after an update revealed structural change.
+// after an update revealed structural change. The new Model shares the
+// (immutable) database of the old one and differs only in its reference
+// cells.
 func (s *System) Reselect() ([]int, error) {
-	s.mu.RLock()
-	x := s.x
-	s.mu.RUnlock()
-	refs, err := SelectReferences(x, s.opts.Refs)
+	s.calMu.Lock()
+	defer s.calMu.Unlock()
+	m := s.model.Load()
+	refs, err := SelectReferences(m.x, s.opts.Refs)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.refs = refs
-	s.mu.Unlock()
+	s.install(m.x, m.observed, m.vacant, refs)
 	return append([]int(nil), refs...), nil
 }
 
-// Locate matches a live measurement vector against the current database.
+// Locate matches a live measurement vector against the current Model.
 // With the default options it uses the mask-aware weighted matcher, which
 // trusts measured entries (vacant fills and reference columns) above
-// LoLi-IR-reconstructed ones.
+// LoLi-IR-reconstructed ones. The steady state is allocation-free: the
+// working buffers come from the shared Scratch pool, and the Model read
+// is one atomic load, so concurrent callers never contend.
 func (s *System) Locate(y []float64) (Location, error) {
-	return s.LocateContext(context.Background(), y)
+	return s.model.Load().Locate(y, nil)
 }
 
 // LocateContext is Locate with cancellation: a single match query is
@@ -211,24 +230,11 @@ func (s *System) LocateContext(ctx context.Context, y []float64) (Location, erro
 	if err := ctx.Err(); err != nil {
 		return Location{}, taflocerr.Errorf(taflocerr.CodeCancelled, "core: locate cancelled: %w", err)
 	}
-	s.mu.RLock()
-	x := s.x
-	obs := s.observed
-	s.mu.RUnlock()
-	if s.opts.Matcher != nil {
-		return s.opts.Matcher.Match(x, s.layout.Grid, y)
-	}
-	return WeightedKNNMatcher{
-		Observed:   obs,
-		RecSigmaDB: s.opts.RecSigmaDB,
-	}.Match(x, s.layout.Grid, y)
+	return s.Locate(y)
 }
 
 // Detect reports whether a target is present, using the current vacant
 // baseline.
 func (s *System) Detect(y []float64, thresholdDB float64) (bool, float64) {
-	s.mu.RLock()
-	vac := s.vacant
-	s.mu.RUnlock()
-	return Detector{Vacant: vac, ThresholdDB: thresholdDB}.Present(y)
+	return s.model.Load().Detect(y, thresholdDB)
 }

@@ -50,16 +50,7 @@ func ParallelFor(n, minChunk int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	if minChunk < 1 {
-		minChunk = 1
-	}
-	chunks := n / minChunk
-	if chunks < 1 {
-		chunks = 1
-	}
-	if w := Workers(); chunks > w {
-		chunks = w
-	}
+	chunks := parChunks(n, minChunk)
 	if chunks <= 1 {
 		fn(0, n)
 		return
@@ -78,6 +69,34 @@ func ParallelFor(n, minChunk int, fn func(lo, hi int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// parChunks is the single source of the partitioning heuristic: how
+// many chunks ParallelFor splits [0, n) into under the current worker
+// setting (at least 1 for n > 0). FanOut shares it, so the two can
+// never disagree.
+func parChunks(n, minChunk int) int {
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	chunks := n / minChunk
+	if chunks < 1 {
+		chunks = 1
+	}
+	if w := Workers(); chunks > w {
+		chunks = w
+	}
+	return chunks
+}
+
+// FanOut reports whether ParallelFor would split [0, n) into more than
+// one chunk under the current worker setting. Allocation-sensitive
+// callers use it to run the single-chunk case as a plain inline loop:
+// spawning goroutines heap-allocates the loop closure, and a caller
+// that only constructs the closure inside a FanOut-guarded branch pays
+// nothing on the serial path.
+func FanOut(n, minChunk int) bool {
+	return n > 0 && parChunks(n, minChunk) > 1
 }
 
 // ChunkFor returns the minimum ParallelFor chunk length such that one

@@ -1,0 +1,81 @@
+package mat
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Float-slice pooling. The serving layer's steady state allocates the
+// same handful of slice shapes over and over (live vectors, match
+// scratch); recycling them through size-classed pools keeps the hot
+// path off the garbage collector. Slices are binned by capacity class
+// (powers of two), so a Get never returns less capacity than requested
+// and a recycled slice is found by any request of its class.
+
+// poolMinFloats is the smallest capacity class; requests below it are
+// rounded up so tiny slices still recycle through one pool.
+const poolMinFloats = 1 << 6
+
+// poolMaxClass bounds the pooled capacity at 1<<poolMaxClass floats
+// (64 Mi floats = 512 MiB); larger requests fall through to plain make.
+const poolMaxClass = 26
+
+var floatPools [poolMaxClass + 1]sync.Pool
+
+// boxPool recycles the *[]float64 headers the class pools store, so a
+// steady-state Get/Put cycle allocates nothing — without it every Put
+// would heap-allocate a fresh header to box the slice into the pool's
+// interface value.
+var boxPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// floatClass returns the capacity class for n floats: the smallest
+// power-of-two exponent c with 1<<c >= max(n, poolMinFloats), or -1
+// when n is too large to pool.
+func floatClass(n int) int {
+	if n < poolMinFloats {
+		n = poolMinFloats
+	}
+	c := bits.Len(uint(n - 1))
+	if c > poolMaxClass {
+		return -1
+	}
+	return c
+}
+
+// GetFloats returns a float64 slice of length n from the pool, or a
+// fresh one when the pool is empty. The contents are unspecified — the
+// caller must overwrite every element it reads. n <= 0 returns nil.
+func GetFloats(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	c := floatClass(n)
+	if c < 0 {
+		return make([]float64, n)
+	}
+	if v := floatPools[c].Get(); v != nil {
+		box := v.(*[]float64)
+		s := (*box)[:n]
+		*box = nil
+		boxPool.Put(box)
+		return s
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// PutFloats recycles a slice obtained from GetFloats (or any slice whose
+// capacity is an exact class size). Slices that do not fit a class, and
+// nil, are dropped. The caller must not use s afterwards.
+func PutFloats(s []float64) {
+	c := cap(s)
+	if c < poolMinFloats || c&(c-1) != 0 {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1
+	if cls > poolMaxClass {
+		return
+	}
+	box := boxPool.Get().(*[]float64)
+	*box = s[:0]
+	floatPools[cls].Put(box)
+}

@@ -1,0 +1,48 @@
+package mat
+
+import "testing"
+
+func TestFloatPoolRoundTrip(t *testing.T) {
+	s := GetFloats(100)
+	if len(s) != 100 || cap(s) != 128 {
+		t.Fatalf("GetFloats(100): len=%d cap=%d, want 100/128", len(s), cap(s))
+	}
+	for i := range s {
+		s[i] = float64(i)
+	}
+	PutFloats(s)
+	// Same class request may get the recycled slice; contents are
+	// unspecified but the shape must hold.
+	r := GetFloats(70)
+	if len(r) != 70 || cap(r) < 70 {
+		t.Fatalf("recycled GetFloats(70): len=%d cap=%d", len(r), cap(r))
+	}
+	PutFloats(r)
+
+	if GetFloats(0) != nil || GetFloats(-3) != nil {
+		t.Fatal("non-positive sizes must return nil")
+	}
+	PutFloats(nil)                     // must not panic
+	PutFloats(make([]float64, 10, 33)) // off-class capacity: dropped, no panic
+}
+
+func TestFloatPoolTinyRequestsShareAClass(t *testing.T) {
+	s := GetFloats(1)
+	if len(s) != 1 || cap(s) != poolMinFloats {
+		t.Fatalf("GetFloats(1): len=%d cap=%d, want 1/%d", len(s), cap(s), poolMinFloats)
+	}
+	PutFloats(s)
+}
+
+func TestFloatPoolSteadyStateZeroAlloc(t *testing.T) {
+	// Warm the class and box pools, then pin: a recycle cycle costs no
+	// heap allocation (the slice headers are boxed through a recycled
+	// pointer pool).
+	PutFloats(GetFloats(64))
+	if allocs := testing.AllocsPerRun(200, func() {
+		s := GetFloats(64)
+		PutFloats(s)
+	}); allocs != 0 {
+		t.Errorf("Get/Put cycle allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -5,10 +5,19 @@
 // A Service owns one independent core.System per monitored zone (a room,
 // a corridor, a floor section — each with its own link deployment and
 // fingerprint database). RSS reports enter through a bounded per-zone
-// work queue; a dedicated worker goroutine per zone drains its queue in
-// batches, folds the samples into per-link live windows, and answers the
-// zone's match query once per batch rather than once per report, so a
-// burst of traffic costs one localization instead of dozens.
+// work queue, but zones own no goroutines: each is a small run-state
+// machine scheduled onto a shared locate-executor pool of
+// Config.LocateWorkers goroutines (default GOMAXPROCS). A fold round
+// drains the queue in batches and folds the samples into per-link live
+// windows; the match query runs once per round rather than once per
+// report, dispatched as a separate locate task, so a burst of traffic
+// costs one localization instead of dozens, ten thousand mostly-idle
+// zones cost zero goroutines, and a hot zone folds its next batch while
+// its previous match query is still running (successive rounds coalesce
+// into one pending estimate — freshest wins — when matching is the
+// bottleneck). A fold round in which some link has never reported
+// publishes nothing and increments the zone's Starved counter, so
+// operators can tell a silent link from an empty room.
 //
 // Every report transport converges on one ingestion surface, the
 // Ingestor interface (implemented by *Service.Ingest): in-process
@@ -21,17 +30,21 @@
 // Position queries never touch the ingest path: the most recent estimate
 // of every zone lives in a read-mostly snapshot behind an atomic pointer.
 // Publishing an estimate copies the snapshot (copy-on-write, serialized
-// among the zone workers); reading it is a single atomic load with no
+// among the locate tasks); reading it is a single atomic load with no
 // lock, so the query path scales with reader count and is never blocked
-// by ingestion, reconstruction, or other zones.
+// by ingestion, reconstruction, or other zones. Localization itself is
+// lock-free too: every zone's calibrated read state is an immutable
+// core.Model behind an atomic pointer, so any number of executor
+// workers match against the same zone concurrently while LoLi-IR
+// updates swap in fresh Models underneath them (see docs/ARCHITECTURE.md).
 //
 // The matching and reconstruction work underneath is parallelized in
 // internal/mat and internal/core with GOMAXPROCS-aware worker pools, so
-// one heavy zone update uses the whole machine while the other zone
-// workers keep serving.
+// one heavy zone update uses the whole machine while the executor pool
+// keeps serving the other zones.
 //
-// Zones are first-class at runtime: AddZone launches a worker into a
-// running service, RemoveZone drains and stops one (rejecting new
+// Zones are first-class at runtime: AddZone registers a zone into a
+// running service, RemoveZone quiesces and removes one (rejecting new
 // reports, dropping the snapshot entry, and terminating watch streams
 // with a Final estimate), and UpdateZone swaps the backing core.System
 // atomically while counters and watch subscriptions survive. Watch

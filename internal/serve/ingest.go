@@ -27,10 +27,13 @@ type Ingestor interface {
 // bounded queue is full the batch is shed and ErrQueueFull returned —
 // ingestion never blocks the caller. Rejected and shed reports count
 // into the zone's Dropped stat, accepted ones into Received, for every
-// transport alike.
+// transport alike. An accepted batch arms the zone's fold round on the
+// shared executor pool (a running service folds promptly; before Start
+// the queue simply fills, and Start schedules the backlog).
 func (s *Service) Ingest(id string, reports []Report) error {
 	s.mu.RLock()
 	z, ok := s.zones[id]
+	ctx := s.runCtx
 	s.mu.RUnlock()
 	if !ok {
 		return ErrUnknownZone
@@ -45,14 +48,72 @@ func (s *Service) Ingest(id string, reports []Report) error {
 			return fmt.Errorf("%w: link %d of %d in zone %q", ErrBadReport, r.Link, m, id)
 		}
 	}
+	running := s.started.Load() && ctx != nil && ctx.Err() == nil
+	if z.unbuffered {
+		return s.ingestUnbuffered(z, reports, running)
+	}
 	select {
 	case z.queue <- reports:
 		z.received.Add(uint64(len(reports)))
+		if !running {
+			// The run context was read before the enqueue; Start may have
+			// completed in between, after scanning this zone's then-empty
+			// backlog. Re-reading under the same mutex Start holds closes
+			// the window: either this re-check observes the started
+			// service and schedules, or Start's backlog scan (which runs
+			// after this enqueue) does. Duplicate scheduling is harmless —
+			// scheduleFold is idempotent while a fold is armed.
+			s.mu.RLock()
+			ctx = s.runCtx
+			s.mu.RUnlock()
+			running = s.started.Load() && ctx != nil && ctx.Err() == nil
+		}
+		if running {
+			s.scheduleFold(z)
+		}
 		return nil
 	default:
 		z.dropped.Add(uint64(len(reports)))
 		return ErrQueueFull
 	}
+}
+
+// ingestUnbuffered implements the explicit-zero queue depth semantics:
+// a batch is accepted only when it can rendezvous with an immediate fold
+// round — the zone is idle and nothing else is pending — and shed
+// whenever the zone is busy. Without a running executor (before Start,
+// after Stop) every batch sheds, exactly as the worker-per-zone design
+// shed when no worker was receiving.
+func (s *Service) ingestUnbuffered(z *zone, reports []Report, running bool) error {
+	n := uint64(len(reports))
+	if !running {
+		z.dropped.Add(n)
+		return ErrQueueFull
+	}
+	z.schedMu.Lock()
+	if z.stopped || z.foldBusy || len(z.queue) > 0 {
+		z.schedMu.Unlock()
+		z.dropped.Add(n)
+		return ErrQueueFull
+	}
+	// The slot (capacity 1) is verifiably empty and only filled under
+	// schedMu, so this send cannot block.
+	z.queue <- reports
+	z.foldBusy = true
+	z.tasks.Add(1)
+	if !s.exec.submit(task{z: z, kind: foldTask}) {
+		// Executor closed (service stopping): take the slot back and
+		// shed, exactly as an unbuffered zone sheds without a receiver.
+		<-z.queue
+		z.foldBusy = false
+		z.tasks.Done()
+		z.schedMu.Unlock()
+		z.dropped.Add(n)
+		return ErrQueueFull
+	}
+	z.schedMu.Unlock()
+	z.received.Add(n)
+	return nil
 }
 
 // Report enqueues a batch of reports for a zone. It is the pre-v2.1

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 
 	"tafloc/internal/api"
 	"tafloc/internal/core"
+	"tafloc/internal/mat"
 	"tafloc/internal/track"
 	"tafloc/internal/wire"
 	"tafloc/taflocerr"
@@ -47,15 +49,15 @@ type Config struct {
 	// QueueDepth is the number of pending report batches each zone's
 	// bounded queue holds before Report sheds load (default 256;
 	// negative = 0, an unbuffered queue that rendezvouses with the
-	// worker and sheds whenever it is busy).
+	// zone's fold round and sheds whenever one is in flight).
 	QueueDepth int
-	// BatchSize is the maximum number of reports a zone worker folds
-	// before answering one batched match query (default 64; negative =
-	// 1, one match query per batch).
+	// BatchSize is the maximum number of reports a zone's fold round
+	// consumes before answering one batched match query (default 64;
+	// negative = 1, one match query per batch).
 	BatchSize int
-	// Window is the per-link live-window length the worker averages over
-	// (default 8, matching the collector's default; negative = 1, no
-	// averaging).
+	// Window is the per-link live-window length the fold rounds average
+	// over (default 8, matching the collector's default; negative = 1,
+	// no averaging).
 	Window int
 	// DetectThresholdDB gates localization on target presence: batches
 	// whose live vector deviates less than this from the zone's vacant
@@ -66,6 +68,11 @@ type Config struct {
 	// registry (default core.DetectorMAD). Unknown names fail NewService
 	// with a taflocerr error and panic the legacy New.
 	Detector string
+	// LocateWorkers is the size of the shared locate-executor pool that
+	// runs every zone's fold and match rounds. Zones are goroutine-free
+	// state machines, so this — not the zone count — is the service's
+	// compute concurrency (default GOMAXPROCS; negative = 1).
+	LocateWorkers int
 	// WatchBuffer is the per-watcher event buffer; a watcher that falls
 	// more than this many estimates behind misses the intermediate ones
 	// (default 16; negative = 1).
@@ -122,6 +129,12 @@ func (c Config) withDefaults() Config {
 		c.Detector = core.DetectorMAD
 	}
 	switch {
+	case c.LocateWorkers == 0:
+		c.LocateWorkers = runtime.GOMAXPROCS(0)
+	case c.LocateWorkers < 0:
+		c.LocateWorkers = 1
+	}
+	switch {
 	case c.WatchBuffer == 0:
 		c.WatchBuffer = 16
 	case c.WatchBuffer < 0:
@@ -176,31 +189,53 @@ type zoneConfig struct {
 	trk      track.Options // always concrete (zero value replaced by defaults)
 }
 
-// zone is one shard: a core.System plus the worker-owned ingest state.
-// Everything below queue is touched only by the zone's worker goroutine,
-// so it needs no locking.
+// zone is one shard: a core.System plus ingest state, scheduled as a
+// run-state machine over the shared executor pool instead of owning a
+// goroutine. The scheduling invariant is at most one fold task and one
+// locate task in flight per zone: the fold state (win/vwin rings,
+// folded) is touched only by the single fold task, so it needs no
+// locking, and the locate chain serializes publishes, so per-zone
+// estimate order is what it was under the worker-per-zone design. An
+// idle zone costs no goroutine at all.
 type zone struct {
-	id    string
-	sys   *core.System
-	zc    zoneConfig
-	queue chan []Report
+	id         string
+	sys        *core.System
+	zc         zoneConfig
+	queue      chan []Report
+	unbuffered bool // QueueDepth 0: rendezvous semantics over a cap-1 queue
 
 	// per-link ring windows: win holds every sample (a vacant room is a
 	// valid live measurement); vwin holds only vacant-flagged samples and
-	// feeds the refreshed detection baseline.
+	// feeds the refreshed detection baseline. Fold-task-owned.
 	win    [][]float64
 	widx   []int
 	wfill  []int
 	vwin   [][]float64
 	vidx   []int
 	vfill  []int
-	folded uint64 // reports folded so far (worker-owned)
+	folded uint64 // reports folded so far (fold-task-owned)
 
 	received    atomic.Uint64
 	dropped     atomic.Uint64
 	batches     atomic.Uint64
 	estimates   atomic.Uint64
 	matchErrors atomic.Uint64
+	starved     atomic.Uint64
+
+	// Run-state machine, guarded by schedMu. foldBusy marks a fold task
+	// scheduled or running; locBusy a locate task. pend holds the one
+	// coalesced estimate waiting for the locate chain (freshest wins —
+	// under sustained overload intermediate rounds are superseded, the
+	// same freshness-over-completeness rule the watch streams follow).
+	// stopped is set by RemoveZone/UpdateZone/zone swap; tasks counts
+	// the in-flight tasks a lifecycle mutation must wait out.
+	schedMu  sync.Mutex
+	foldBusy bool
+	locBusy  bool
+	pend     task
+	hasPend  bool
+	stopped  bool
+	tasks    sync.WaitGroup
 
 	// Trajectory state: the publish path appends every estimate to hist
 	// and folds present fixes through tracker into trk; the /track and
@@ -211,17 +246,16 @@ type zone struct {
 	tracker *track.Tracker
 	hist    *ring[Estimate]
 	trk     *ring[api.TrackPoint]
-
-	// Worker lifecycle: cancel stops this zone's worker, done closes when
-	// it has exited. Both are nil until the zone's worker starts.
-	cancel context.CancelFunc
-	done   chan struct{}
 }
 
 // Service is the sharded multi-zone localization frontend. Register zones
-// with AddZone (before or after Start), launch the workers with Start,
-// ingest with Report, read positions lock-free with Position, and stream
-// them with Watch. Zones can be added, removed, and swapped at runtime.
+// with AddZone (before or after Start), launch the executor pool with
+// Start, ingest with Report, read positions lock-free with Position, and
+// stream them with Watch. Zones can be added, removed, and swapped at
+// runtime. Folding is cheap and runs as soon as a zone has pending
+// reports; localization is dispatched to the shared executor pool, so
+// thousands of mostly-idle zones cost no goroutines and a hot zone folds
+// its next batch while its previous match query is still running.
 type Service struct {
 	cfg   Config
 	defZC zoneConfig // zone configuration for zones added with AddZone
@@ -231,12 +265,13 @@ type Service struct {
 	order    []string
 	watchers map[string]map[chan Estimate]bool
 
+	exec    *executor
 	snap    atomic.Pointer[map[string]Estimate]
 	seq     atomic.Uint64
 	streams atomic.Int64 // open NDJSON report streams (health gauge)
 	started atomic.Bool
 	start   time.Time
-	runCtx  context.Context // the Start context; parent of every zone worker
+	runCtx  context.Context // the Start context; parent of every task
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 }
@@ -256,6 +291,7 @@ func NewService(cfg Config) (*Service, error) {
 		zones:    make(map[string]*zone),
 		watchers: make(map[string]map[chan Estimate]bool),
 	}
+	s.exec = newExecutor()
 	empty := make(map[string]Estimate)
 	s.snap.Store(&empty)
 	return s, nil
@@ -318,17 +354,26 @@ func newZoneConfig(window int, thrDB float64, detector string, history int, trk 
 // zone's history is enabled.
 func (s *Service) newZone(id string, sys *core.System, zc zoneConfig, tracker *track.Tracker) *zone {
 	m := sys.Layout().M()
+	depth := s.cfg.QueueDepth
+	unbuffered := depth == 0
+	if unbuffered {
+		// Rendezvous semantics live in the ingest path (see
+		// ingestUnbuffered); the slot itself must hold the one batch a
+		// fold round is about to consume.
+		depth = 1
+	}
 	z := &zone{
-		id:    id,
-		sys:   sys,
-		zc:    zc,
-		queue: make(chan []Report, s.cfg.QueueDepth),
-		win:   make([][]float64, m),
-		widx:  make([]int, m),
-		wfill: make([]int, m),
-		vwin:  make([][]float64, m),
-		vidx:  make([]int, m),
-		vfill: make([]int, m),
+		id:         id,
+		sys:        sys,
+		zc:         zc,
+		queue:      make(chan []Report, depth),
+		unbuffered: unbuffered,
+		win:        make([][]float64, m),
+		widx:       make([]int, m),
+		wfill:      make([]int, m),
+		vwin:       make([][]float64, m),
+		vidx:       make([]int, m),
+		vfill:      make([]int, m),
 	}
 	for i := range z.win {
 		z.win[i] = make([]float64, zc.window)
@@ -346,20 +391,33 @@ func (s *Service) newZone(id string, sys *core.System, zc zoneConfig, tracker *t
 	return z
 }
 
-// startZoneLocked launches z's worker goroutine. Caller holds s.mu and
-// has verified the service is started.
-func (s *Service) startZoneLocked(z *zone) {
-	zctx, cancel := context.WithCancel(s.runCtx)
-	z.cancel = cancel
-	z.done = make(chan struct{})
-	s.wg.Add(1)
-	go s.runZone(zctx, z)
+// stop marks the zone's state machine stopped: scheduled tasks become
+// no-ops, no new tasks are accepted, and the coalesced pending estimate
+// is dropped. Callers then wait on z.tasks for the in-flight ones.
+func (z *zone) stop() {
+	z.schedMu.Lock()
+	z.stopped = true
+	if z.hasPend {
+		mat.PutFloats(z.pend.y)
+		z.pend = task{}
+		z.hasPend = false
+	}
+	z.schedMu.Unlock()
+}
+
+// isStopped reports whether the zone's state machine has been stopped.
+func (z *zone) isStopped() bool {
+	z.schedMu.Lock()
+	st := z.stopped
+	z.schedMu.Unlock()
+	return st
 }
 
 // AddZone registers a monitored zone backed by sys. It may be called
-// before Start (the worker launches with the service) or while the
-// service is running (the worker launches immediately). A stopped
-// service rejects new zones — their workers could never run.
+// before Start or while the service is running — zones are goroutine-free
+// state machines, so registration is just a map insert either way. A
+// stopped service rejects new zones — their reports could never be
+// processed.
 func (s *Service) AddZone(id string, sys *core.System) error {
 	return s.addZone(id, sys, s.defZC, nil)
 }
@@ -382,21 +440,17 @@ func (s *Service) addZone(id string, sys *core.System, zc zoneConfig, tracker *t
 	if _, ok := s.zones[id]; ok {
 		return ErrZoneExists
 	}
-	z := s.newZone(id, sys, zc, tracker)
-	s.zones[id] = z
+	s.zones[id] = s.newZone(id, sys, zc, tracker)
 	s.order = append(s.order, id)
 	sort.Strings(s.order)
-	if s.started.Load() {
-		s.startZoneLocked(z)
-	}
 	return nil
 }
 
 // RemoveZone unregisters a zone at runtime: new reports are rejected
-// with ErrUnknownZone, the zone's worker is drained and stopped, the
-// zone's entry leaves the position snapshot, and every watcher receives
-// a terminal Final estimate before its channel closes. Reports still
-// queued when the worker stops are dropped. The id may be re-added
+// with ErrUnknownZone, the zone's in-flight fold/locate tasks are waited
+// out, the zone's entry leaves the position snapshot, and every watcher
+// receives a terminal Final estimate before its channel closes. Reports
+// still queued at that moment are dropped. The id may be re-added
 // afterwards.
 func (s *Service) RemoveZone(id string) error {
 	s.mu.Lock()
@@ -414,12 +468,11 @@ func (s *Service) RemoveZone(id string) error {
 	}
 	s.mu.Unlock()
 
-	// Stop the worker outside the lock: it may be publishing (which takes
-	// the lock) at this moment.
-	if z.cancel != nil {
-		z.cancel()
-		<-z.done
-	}
+	// Quiesce outside the lock: an in-flight task may be publishing
+	// (which takes the lock) at this moment. No publish can follow the
+	// Wait, so the terminal event below is truly terminal.
+	z.stop()
+	z.tasks.Wait()
 
 	s.mu.Lock()
 	old := *s.snap.Load()
@@ -448,14 +501,15 @@ func (s *Service) RemoveZone(id string) error {
 	return nil
 }
 
-// UpdateZone swaps the core.System behind a zone: the old worker is
-// stopped (report batches still queued at that moment are dropped, as
-// on RemoveZone), the shard state is rebuilt for the new system (window
-// lengths follow the new deployment's link count), the ingest counters
-// carry over, and a fresh worker starts. Watch subscriptions and the
-// published snapshot entry survive the swap. For an in-place
-// fingerprint refresh that keeps the same System, use System(id) and
-// call UpdateContext on it instead — that path never stops the worker.
+// UpdateZone swaps the core.System behind a zone: the zone's in-flight
+// tasks are quiesced (report batches still queued at that moment are
+// dropped, as on RemoveZone), the shard state is rebuilt for the new
+// system (window lengths follow the new deployment's link count), the
+// ingest counters carry over, and the fresh state machine picks up on
+// the next report. Watch subscriptions and the published snapshot entry
+// survive the swap. For an in-place fingerprint refresh that keeps the
+// same System, use System(id) and call UpdateContext on it instead —
+// that path swaps the zone's Model atomically and never pauses serving.
 func (s *Service) UpdateZone(id string, sys *core.System) error {
 	if sys == nil {
 		return taflocerr.Errorf(taflocerr.CodeBadRequest, "serve: nil system for zone %q", id)
@@ -470,22 +524,19 @@ func (s *Service) UpdateZone(id string, sys *core.System) error {
 		s.mu.Unlock()
 		return ErrUnknownZone
 	}
-	// No worker yet means the service has not started (a started service
-	// always starts a worker for every registered zone under this same
-	// lock), so the swap is race-free right here.
-	if z.cancel == nil {
+	if !s.started.Load() {
+		// No task can have been scheduled before Start, so the swap is
+		// race-free right here.
 		s.swapZoneLocked(z, sys)
 		s.mu.Unlock()
 		return nil
 	}
-	cancel, done := z.cancel, z.done
 	s.mu.Unlock()
 
-	// Stop the worker outside the lock: it may be publishing (which takes
-	// the lock) at this moment. Start cannot race this — a non-nil cancel
-	// means Start already ran, and it runs at most once.
-	cancel()
-	<-done
+	// Quiesce outside the lock: an in-flight task may be publishing
+	// (which takes the lock) at this moment.
+	z.stop()
+	z.tasks.Wait()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -502,13 +553,13 @@ func (s *Service) UpdateZone(id string, sys *core.System) error {
 }
 
 // swapZoneLocked replaces z with a fresh zone over sys, carrying the
-// per-zone configuration, the counters (including the worker-owned
-// folded count, safe to read once the worker has exited or never ran),
-// and the trajectory state — the zone is the same physical space, so
-// its track survives a fingerprint-database swap. The trajectory state
-// is deep-copied under the old zone's lock: a reader still holding the
-// old shard keeps a consistent snapshot and can never race the new
-// worker. Caller holds s.mu.
+// per-zone configuration, the counters (including the fold-task-owned
+// folded count, safe to read once the old zone's tasks have been waited
+// out or never ran), and the trajectory state — the zone is the same
+// physical space, so its track survives a fingerprint-database swap.
+// The trajectory state is deep-copied under the old zone's lock: a
+// reader still holding the old shard keeps a consistent snapshot and
+// can never race the new zone's tasks. Caller holds s.mu.
 func (s *Service) swapZoneLocked(z *zone, sys *core.System) {
 	z.trackMu.Lock()
 	var tracker *track.Tracker
@@ -529,10 +580,8 @@ func (s *Service) swapZoneLocked(z *zone, sys *core.System) {
 	nz.batches.Store(z.batches.Load())
 	nz.estimates.Store(z.estimates.Load())
 	nz.matchErrors.Store(z.matchErrors.Load())
+	nz.starved.Store(z.starved.Load())
 	s.zones[z.id] = nz
-	if s.started.Load() {
-		s.startZoneLocked(nz)
-	}
 }
 
 // Zones returns the registered zone IDs in sorted order.
@@ -554,8 +603,10 @@ func (s *Service) System(id string) (*core.System, bool) {
 	return z.sys, true
 }
 
-// Start launches one worker goroutine per registered zone. The workers
-// stop when ctx is cancelled or Stop is called.
+// Start launches the shared locate-executor pool: Config.LocateWorkers
+// goroutines that run every zone's fold and match rounds. Reports
+// queued before Start are picked up immediately. The pool stops when
+// ctx is cancelled or Stop is called.
 func (s *Service) Start(ctx context.Context) error {
 	ctx, cancel := context.WithCancel(ctx)
 	s.mu.Lock()
@@ -567,16 +618,52 @@ func (s *Service) Start(ctx context.Context) error {
 	s.cancel = cancel
 	s.runCtx = ctx
 	s.start = time.Now()
+	for i := 0; i < s.cfg.LocateWorkers; i++ {
+		s.wg.Add(1)
+		go s.execWorker()
+	}
+	// Close the executor when the run context ends; the workers drain
+	// the remaining queue (tasks become cheap no-ops) and exit.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		<-ctx.Done()
+		s.exec.close()
+	}()
 	for _, id := range s.order {
-		s.startZoneLocked(s.zones[id])
+		z := s.zones[id]
+		if len(z.queue) > 0 {
+			s.scheduleFold(z)
+		}
 	}
 	return nil
 }
 
+// execWorker is one executor-pool goroutine.
+func (s *Service) execWorker() {
+	defer s.wg.Done()
+	for {
+		t, ok := s.exec.next()
+		if !ok {
+			return
+		}
+		s.runTask(t)
+	}
+}
+
+// runTask dispatches one executor task.
+func (s *Service) runTask(t task) {
+	switch t.kind {
+	case foldTask:
+		s.runFold(t.z)
+	case locateTask:
+		s.runLocate(t.z, t.y, t.e)
+	}
+}
+
 // stoppedLocked reports whether the service has been started and then
 // stopped (directly or via its Start context); zone mutations on a
-// stopped service would create workers that never run. Caller holds
-// s.mu.
+// stopped service would queue work that never runs. Caller holds s.mu.
 func (s *Service) stoppedLocked() error {
 	if s.started.Load() && s.runCtx != nil && s.runCtx.Err() != nil {
 		return taflocerr.Errorf(taflocerr.CodeStarted, "serve: service stopped")
@@ -584,7 +671,13 @@ func (s *Service) stoppedLocked() error {
 	return nil
 }
 
-// Stop cancels the zone workers and ends every watch stream (each open
+// serviceStopped reports whether the run context has ended. Only called
+// from task context, where Start is guaranteed to have happened.
+func (s *Service) serviceStopped() bool {
+	return s.runCtx.Err() != nil
+}
+
+// Stop cancels the executor pool and ends every watch stream (each open
 // channel is closed after a terminal Final estimate, mirroring zone
 // removal). It does not wait for the workers; see Wait.
 func (s *Service) Stop() {
@@ -606,7 +699,7 @@ func (s *Service) Stop() {
 	s.mu.Unlock()
 }
 
-// Wait blocks until all zone workers have exited.
+// Wait blocks until the executor pool has exited.
 func (s *Service) Wait() { s.wg.Wait() }
 
 // Uptime reports how long the service has been running.
@@ -693,37 +786,74 @@ func (s *Service) Stats() map[string]ZoneStats {
 			Batches:     z.batches.Load(),
 			Estimates:   z.estimates.Load(),
 			MatchErrors: z.matchErrors.Load(),
+			Starved:     z.starved.Load(),
 			QueueLen:    len(z.queue),
 		}
 	}
 	return out
 }
 
-// runZone is the per-zone worker loop: block for a batch, drain more
-// opportunistically up to BatchSize reports, fold them into the live
-// windows, then answer one batched match query.
-func (s *Service) runZone(ctx context.Context, z *zone) {
-	defer s.wg.Done()
-	defer close(z.done)
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case batch := <-z.queue:
-			n := s.fold(z, batch)
-			for n < s.cfg.BatchSize {
-				select {
-				case more := <-z.queue:
-					n += s.fold(z, more)
-					continue
-				default:
-				}
-				break
-			}
-			z.batches.Add(1)
-			s.localize(z)
+// scheduleFold arms the zone's fold stage if it is not already armed.
+// Called after a successful enqueue; before Start it is a no-op (Start
+// schedules every zone with pending reports).
+func (s *Service) scheduleFold(z *zone) {
+	z.schedMu.Lock()
+	if !z.stopped && !z.foldBusy {
+		z.foldBusy = true
+		z.tasks.Add(1)
+		if !s.exec.submit(task{z: z, kind: foldTask}) {
+			// Executor closed (service stopping): unwind. The queued
+			// reports are dropped on shutdown, per the stop contract.
+			z.foldBusy = false
+			z.tasks.Done()
 		}
 	}
+	z.schedMu.Unlock()
+}
+
+// runFold is one fold round: drain up to BatchSize reports from the
+// zone's queue into the live windows, average them into a live vector,
+// gate on presence, and hand the prepared estimate to the locate stage.
+// The scheduling invariant (one fold task in flight per zone) makes the
+// fold state single-writer without locks.
+func (s *Service) runFold(z *zone) {
+	defer z.tasks.Done()
+	if s.serviceStopped() || z.isStopped() {
+		z.schedMu.Lock()
+		z.foldBusy = false
+		z.schedMu.Unlock()
+		return
+	}
+	drained := 0
+drain:
+	for drained < s.cfg.BatchSize {
+		select {
+		case batch := <-z.queue:
+			drained += s.fold(z, batch)
+		default:
+			break drain
+		}
+	}
+	if drained > 0 {
+		s.prepareEstimate(z)
+	}
+	s.foldDone(z)
+}
+
+// foldDone disarms the fold stage, or re-arms it when reports arrived
+// during the round (the ingest path saw foldBusy and did not schedule).
+func (s *Service) foldDone(z *zone) {
+	z.schedMu.Lock()
+	if !z.stopped && len(z.queue) > 0 && !s.serviceStopped() {
+		z.tasks.Add(1)
+		if s.exec.submit(task{z: z, kind: foldTask}) { // keep foldBusy armed
+			z.schedMu.Unlock()
+			return
+		}
+		z.tasks.Done() // executor closed mid-shutdown: unwind
+	}
+	z.foldBusy = false
+	z.schedMu.Unlock()
 }
 
 // fold applies a batch to the zone's per-link ring windows and returns
@@ -752,14 +882,22 @@ func (s *Service) fold(z *zone, batch []Report) int {
 	return len(batch)
 }
 
-// localize answers the zone's batched match query: average the live
-// windows, gate on presence, match, and publish via copy-on-write.
-func (s *Service) localize(z *zone) {
+// prepareEstimate closes a fold round: average the live windows into a
+// pooled vector, count starvation when some link has never reported
+// (operators can then tell "no estimate" from "no traffic" on the
+// Starved stat), gate on presence, and pass the estimate to the locate
+// stage. Absent estimates skip matching but still travel the locate
+// chain, which keeps per-zone publish order strict.
+func (s *Service) prepareEstimate(z *zone) {
 	m := len(z.win)
-	y := make([]float64, m)
+	y := mat.GetFloats(m)
+	z.batches.Add(1)
 	for i := 0; i < m; i++ {
 		if z.wfill[i] == 0 {
-			return // not every link has reported yet
+			// Some link has never reported: no estimate is possible yet.
+			z.starved.Add(1)
+			mat.PutFloats(y)
+			return
 		}
 		var sum float64
 		for k := 0; k < z.wfill[i]; k++ {
@@ -775,19 +913,83 @@ func (s *Service) localize(z *zone) {
 		Cell:        -1,
 		Reports:     z.folded,
 	}
-	if present {
-		loc, err := z.sys.Locate(y)
-		if err != nil {
-			z.matchErrors.Add(1)
+	if !present {
+		mat.PutFloats(y)
+		y = nil
+	}
+	s.dispatchLocate(z, y, e)
+}
+
+// dispatchLocate hands a prepared estimate to the zone's locate stage.
+// When a locate is already in flight the estimate is coalesced into the
+// single pending slot (freshest wins), so a zone whose match queries
+// are slower than its ingest folds ahead without queueing unbounded
+// work — and the fold stage never blocks on the locate stage.
+func (s *Service) dispatchLocate(z *zone, y []float64, e Estimate) {
+	z.schedMu.Lock()
+	switch {
+	case z.stopped:
+		z.schedMu.Unlock()
+		mat.PutFloats(y)
+		return
+	case z.locBusy:
+		if z.hasPend {
+			mat.PutFloats(z.pend.y)
+		}
+		z.pend = task{y: y, e: e}
+		z.hasPend = true
+	default:
+		z.locBusy = true
+		z.tasks.Add(1)
+		if !s.exec.submit(task{z: z, kind: locateTask, y: y, e: e}) {
+			// Executor closed (service stopping): unwind and drop the
+			// round, as shutdown drops queued work.
+			z.locBusy = false
+			z.tasks.Done()
+			mat.PutFloats(y)
+		}
+	}
+	z.schedMu.Unlock()
+}
+
+// runLocate is the zone's locate stage: run the match query against the
+// zone's current Model (one atomic load, no locks — the executor
+// workers all read shared Models concurrently), publish, and loop onto
+// the coalesced pending estimate if one arrived meanwhile.
+func (s *Service) runLocate(z *zone, y []float64, e Estimate) {
+	defer z.tasks.Done()
+	for {
+		if !s.serviceStopped() && !z.isStopped() {
+			ok := true
+			if e.Present && y != nil {
+				loc, err := z.sys.Locate(y)
+				if err != nil {
+					z.matchErrors.Add(1)
+					ok = false
+				} else {
+					e.Cell = loc.Cell
+					e.Point = loc.Point
+					e.Distance = loc.Distance
+					e.Confidence = loc.Confidence
+				}
+			}
+			if ok {
+				s.publish(z, e)
+				z.estimates.Add(1)
+			}
+		}
+		mat.PutFloats(y)
+		z.schedMu.Lock()
+		if z.stopped || !z.hasPend {
+			z.locBusy = false
+			z.schedMu.Unlock()
 			return
 		}
-		e.Cell = loc.Cell
-		e.Point = loc.Point
-		e.Distance = loc.Distance
-		e.Confidence = loc.Confidence
+		y, e = z.pend.y, z.pend.e
+		z.pend = task{}
+		z.hasPend = false
+		z.schedMu.Unlock()
 	}
-	s.publish(z, e)
-	z.estimates.Add(1)
 }
 
 // detect gates localization on target presence through the zone's
@@ -826,7 +1028,7 @@ func (s *Service) detect(z *zone, y []float64) (bool, float64) {
 
 // publish installs an estimate into the read-mostly snapshot, fans it
 // out to the zone's watchers, and records it into the zone's trajectory
-// state. Writers (the zone workers) serialize on the service mutex and
+// state. Writers (the locate stages) serialize on the service mutex and
 // swap in a fresh copy; readers keep loading the old snapshot
 // untouched. The publish time is wall clock only (Round strips the
 // monotonic reading): the trajectory filter derives dt from it, and the

@@ -136,6 +136,18 @@ func WithDetectThreshold(db float64) ServiceOption {
 	return func(c *serve.Config) { c.DetectThresholdDB = db }
 }
 
+// WithLocateWorkers sets the size of the service's shared
+// locate-executor pool: the goroutines that run every zone's fold and
+// match rounds (default GOMAXPROCS). Zones are goroutine-free state
+// machines, so this — not the zone count — bounds the service's compute
+// concurrency; n <= 0 selects the minimum of one worker.
+func WithLocateWorkers(n int) ServiceOption {
+	if n <= 0 {
+		n = -1
+	}
+	return func(c *serve.Config) { c.LocateWorkers = n }
+}
+
 // WithDetector selects the presence detector by registry name — "mad",
 // "rms", "maxlink", or any name installed with RegisterDetector.
 // NewService returns a taflocerr error for an unknown name.

@@ -159,6 +159,16 @@ type (
 	// exported by System.ExportState and consumed by RestoreSystem —
 	// the unit the persistence layer snapshots for warm restarts.
 	SystemState = core.SystemState
+	// Model is a System's immutable read plane — radio map, geometry,
+	// observed mask, matcher, and vacant baseline frozen at one
+	// calibration instant — published via System.Model. Any number of
+	// goroutines may Locate against one Model without locks; Update
+	// swaps in a successor without disturbing readers.
+	Model = core.Model
+	// Scratch holds the reusable per-call buffers of the matchers;
+	// threading one through repeated Locate calls makes the steady
+	// state allocation-free.
+	Scratch = core.Scratch
 	// Location is a localization estimate.
 	Location = core.Location
 	// Matcher locates live measurements against a database.
@@ -209,6 +219,18 @@ func SelectReferences(x *Matrix, opts ReferenceOptions) ([]int, error) {
 // day-0 survey.
 func MaskFromSurvey(survey *Matrix, vacant []float64, thresholdDB float64) (*Matrix, error) {
 	return core.MaskFromSurvey(survey, vacant, thresholdDB)
+}
+
+// NewScratch returns an empty matcher Scratch; buffers grow lazily and
+// are reused across Locate calls. Give each goroutine its own.
+func NewScratch() *Scratch { return core.NewScratch() }
+
+// NewModel assembles an immutable localization Model from its parts,
+// taking ownership of every argument (callers must not mutate them
+// afterwards). Most callers want System.Model instead; this constructor
+// exists for matcher experiments over a bare database.
+func NewModel(layout *Layout, x, observed *Matrix, vacant []float64, refs []int, m Matcher) (*Model, error) {
+	return core.NewModel(layout, x, observed, vacant, refs, m)
 }
 
 // RestoreSystem rebuilds a System from a state exported with
