@@ -619,3 +619,129 @@ func BenchmarkServeThroughput(b *testing.B) {
 	cancel()
 	svc.Wait()
 }
+
+// BenchmarkEvictRehydrate prices one full residency round trip per op:
+// checkpoint a zone's calibrated state into the snapshot store and drop
+// its Model, then restore it from the stored bytes. This is the tax a
+// service over its hot-zone cap pays when traffic returns to a cold
+// zone, measured against both production backends.
+func BenchmarkEvictRehydrate(b *testing.B) {
+	cfg := tafloc.PaperConfig()
+	cfg.RoomW, cfg.RoomH = 3.6, 2.4
+	cfg.Links = 6
+	cfg.SamplesPerCell = 5
+	dep, err := tafloc.NewDeployment(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := tafloc.OpenDeployment(dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	backends := []struct {
+		name  string
+		store tafloc.SnapshotStore
+	}{
+		{"mem", tafloc.NewMemStore()},
+		{"dir", tafloc.NewDirStore(b.TempDir())},
+	}
+	for _, backend := range backends {
+		b.Run(backend.name, func(b *testing.B) {
+			svc, err := tafloc.NewService(tafloc.WithSnapshotStore(backend.store))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := svc.AddZone("z", sys); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := svc.EvictZone("z"); err != nil {
+					b.Fatal(err)
+				}
+				if err := svc.RehydrateZone("z"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkManyZonesColdStart is the cold-start leg of
+// BenchmarkManyZones: the same thousand-zone parallel ingest, but with
+// the resident-Model cache capped at 64, so producers sweeping the zone
+// space continuously force evictions and rehydrations. The gap between
+// this bench's reports/s and BenchmarkManyZones' is the throughput cost
+// of running 1000 zones in the memory footprint of 64.
+func BenchmarkManyZonesColdStart(b *testing.B) {
+	const zones = 1000
+	const hotCap = 64
+	const preparedBatches = 32
+	cfg := tafloc.PaperConfig()
+	cfg.RoomW, cfg.RoomH = 3.6, 2.4
+	cfg.Links = 6
+	cfg.SamplesPerCell = 5
+	dep, err := tafloc.NewDeployment(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := tafloc.OpenDeployment(dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := tafloc.NewService(
+		tafloc.WithWindow(4),
+		tafloc.WithDetectThreshold(0.25),
+		tafloc.WithZoneQueue(64),
+		tafloc.WithHistory(0),
+		tafloc.WithMaxHotZones(hotCap),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]string, zones)
+	for z := 0; z < zones; z++ {
+		ids[z] = fmt.Sprintf("zone-%04d", z)
+		if err := svc.AddZone(ids[z], sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var batches [][]tafloc.ZoneReport
+	for k := 0; k < preparedBatches; k++ {
+		p := tafloc.Point{X: 0.3 + 3.0*float64(k)/preparedBatches, Y: 0.3 + 1.8*float64(k%7)/7}
+		y := dep.Channel.MeasureLive(p, 0)
+		batch := make([]tafloc.ZoneReport, len(y))
+		for i, v := range y {
+			batch[i] = tafloc.ZoneReport{Link: i, RSS: v}
+		}
+		batches = append(batches, batch)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := svc.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	var stream atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(stream.Add(1)) * 7919
+		for pb.Next() {
+			id := ids[i%zones]
+			batch := append([]tafloc.ZoneReport(nil), batches[i%preparedBatches]...)
+			for svc.Report(id, batch) != nil {
+				time.Sleep(10 * time.Microsecond)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	var received, rehydrates uint64
+	for _, st := range svc.Stats() {
+		received += st.Received
+		rehydrates += st.Rehydrates
+	}
+	b.ReportMetric(float64(received)/b.Elapsed().Seconds(), "reports/s")
+	b.ReportMetric(float64(rehydrates), "rehydrates")
+	cancel()
+	svc.Wait()
+}

@@ -37,6 +37,7 @@
 //	tafloc-serve -interval 20ms           # faster simulated reporting
 //	tafloc-serve -state-dir /var/lib/tafloc   # checkpoint + warm restart
 //	tafloc-serve -state-dir ./state -checkpoint 10s
+//	tafloc-serve -zones 64 -max-hot-zones 8   # tiered storage: at most 8 resident models
 package main
 
 import (
@@ -144,6 +145,7 @@ func main() {
 	locateWorkers := flag.Int("locate-workers", 0, "shared locate-executor pool size; zones are goroutine-free state machines scheduled onto it (0 = GOMAXPROCS, negative = single worker)")
 	stateDir := flag.String("state-dir", "", "directory for deployment snapshots: checkpoint zones there and warm-restore them on boot")
 	checkpoint := flag.Duration("checkpoint", 30*time.Second, "checkpoint interval when -state-dir is set")
+	maxHotZones := flag.Int("max-hot-zones", 0, "cap on zones holding a resident model; over the cap the least-recently-used zone is checkpointed and dropped, rehydrating transparently on its next request (0 = no cap)")
 	flag.Parse()
 	if *zones < 1 {
 		log.Fatalf("need at least one zone, got %d", *zones)
@@ -166,6 +168,15 @@ func main() {
 	}
 	if *locateWorkers != 0 {
 		opts = append(opts, tafloc.WithLocateWorkers(*locateWorkers))
+	}
+	if *maxHotZones > 0 {
+		opts = append(opts, tafloc.WithMaxHotZones(*maxHotZones))
+		if *stateDir != "" {
+			// Evicted zones checkpoint into the same directory the
+			// periodic checkpointer uses, so cold state doubles as
+			// crash-recovery state.
+			opts = append(opts, tafloc.WithSnapshotStore(tafloc.NewDirStore(*stateDir)))
+		}
 	}
 	svc, err := tafloc.NewService(opts...)
 	if err != nil {
@@ -225,6 +236,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("checkpointing zones to %s every %v\n", *stateDir, *checkpoint)
+	}
+	if *maxHotZones > 0 {
+		where := "memory"
+		if *stateDir != "" {
+			where = *stateDir
+		}
+		fmt.Printf("hot-zone cap: %d resident models, evicting LRU zones to %s\n", *maxHotZones, where)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

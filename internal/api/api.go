@@ -88,6 +88,28 @@ type ZoneStats struct {
 	Starved uint64 `json:"starved,omitempty"`
 	// QueueLen is the instantaneous number of pending batches.
 	QueueLen int `json:"queue_len"`
+	// Cold reports that the zone's Model is currently evicted to the
+	// snapshot store (tiered storage); the zone still serves — its next
+	// report, locate, track, or snapshot request rehydrates it. Hot
+	// zones omit the field, so services without a hot-zone cap keep
+	// their exact pre-tiering stats bodies.
+	Cold bool `json:"cold,omitempty"`
+	// Evictions counts hot→cold transitions (Model checkpointed to the
+	// store and dropped).
+	Evictions uint64 `json:"evictions,omitempty"`
+	// Rehydrates counts cold→hot transitions (Model restored from the
+	// store on demand).
+	Rehydrates uint64 `json:"rehydrates,omitempty"`
+	// RehydrateErrors counts failed rehydrate attempts: the store read
+	// failed or the stored snapshot no longer validates. The zone stays
+	// registered and retries on its next touch; a zone whose
+	// RehydrateErrors keeps advancing has a broken or corrupted store
+	// behind it.
+	RehydrateErrors uint64 `json:"rehydrate_errors,omitempty"`
+	// EvictErrors counts evictions aborted because the checkpoint write
+	// failed; the zone stayed hot and kept serving (graceful
+	// degradation costs memory headroom, never estimates).
+	EvictErrors uint64 `json:"evict_errors,omitempty"`
 }
 
 // ReportRequest is the body of POST /v1/report and POST /v2/report.
@@ -143,6 +165,10 @@ type Health struct {
 	// Streams is the number of NDJSON report streams currently open
 	// against the service.
 	Streams int `json:"streams,omitempty"`
+	// HotZones is the number of zones currently holding a resident
+	// Model — equal to Zones on a service without a hot-zone cap,
+	// smaller once the residency tier is evicting. Omitted when zero.
+	HotZones int `json:"hot_zones,omitempty"`
 }
 
 // StreamAck is one response line of the NDJSON report stream

@@ -10,7 +10,11 @@ package serve
 // and per-zone estimate order is preserved, while a hot zone's next
 // fold can overlap its previous locate on another worker.
 
-import "sync"
+import (
+	"sync"
+
+	"tafloc/internal/core"
+)
 
 // taskKind selects what a queued task does.
 type taskKind uint8
@@ -26,10 +30,14 @@ const (
 
 // task is one unit of executor work. Locate tasks carry the prepared
 // live vector and the partially-filled estimate by value, so queueing a
-// task allocates nothing beyond its queue slot.
+// task allocates nothing beyond its queue slot. They also carry the
+// *core.System the fold round resolved: the zone's residency slot may
+// be evicted to nil at any moment, but a System already in flight is
+// immutable and completes its match correctly regardless.
 type task struct {
 	z    *zone
 	kind taskKind
+	sys  *core.System
 	y    []float64
 	e    Estimate
 }

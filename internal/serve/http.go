@@ -86,7 +86,7 @@ func (s *Service) handleZone(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "want /v1/zones/{id}/position")
 		return
 	}
-	if _, ok := s.System(id); !ok {
+	if !s.zoneExists(id) {
 		httpError(w, http.StatusNotFound, ErrUnknownZone.Error())
 		return
 	}

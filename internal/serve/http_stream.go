@@ -60,7 +60,7 @@ func (s *Service) handleReportStream(w http.ResponseWriter, r *http.Request, id 
 		methodNotAllowedV2(w, http.MethodPost)
 		return
 	}
-	if _, ok := s.System(id); !ok {
+	if !s.zoneExists(id) {
 		errorV2(w, ErrUnknownZone)
 		return
 	}

@@ -95,7 +95,7 @@ func (s *Service) handleZoneV2(w http.ResponseWriter, r *http.Request) {
 			methodNotAllowedV2(w, http.MethodGet)
 			return
 		}
-		if _, ok := s.System(id); !ok {
+		if !s.zoneExists(id) {
 			errorV2(w, ErrUnknownZone)
 			return
 		}
@@ -337,10 +337,11 @@ func (s *Service) handleHealthzV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, api.Health{
-		Status:  "ok",
-		Zones:   len(s.Zones()),
-		UptimeS: s.Uptime().Seconds(),
-		Stats:   s.Stats(),
-		Streams: int(s.streams.Load()),
+		Status:   "ok",
+		Zones:    len(s.Zones()),
+		UptimeS:  s.Uptime().Seconds(),
+		Stats:    s.Stats(),
+		Streams:  int(s.streams.Load()),
+		HotZones: s.HotZones(),
 	})
 }

@@ -25,7 +25,11 @@ type Ingestor interface {
 // outside the zone's deployment rejects the whole batch with an error
 // matching both ErrBadReport and taflocerr.ErrBadLink; when the zone's
 // bounded queue is full the batch is shed and ErrQueueFull returned —
-// ingestion never blocks the caller. Rejected and shed reports count
+// ingestion never blocks the caller. A batch addressed to a cold zone
+// (Model evicted to the snapshot store) rehydrates it first; a failed
+// rehydrate rejects the batch with an error matching ErrRehydrate and
+// taflocerr.ErrRehydrateFailed while the zone stays registered for
+// retry. Rejected and shed reports count
 // into the zone's Dropped stat, accepted ones into Received, for every
 // transport alike. An accepted batch arms the zone's fold round on the
 // shared executor pool (a running service folds promptly; before Start
@@ -47,6 +51,17 @@ func (s *Service) Ingest(id string, reports []Report) error {
 			z.dropped.Add(uint64(len(reports)))
 			return fmt.Errorf("%w: link %d of %d in zone %q", ErrBadReport, r.Link, m, id)
 		}
+	}
+	// A cold zone rehydrates here, before its reports enter the queue:
+	// ingest is the residency tier's demand signal, and doing it on the
+	// ingest path is what turns a failed rehydrate into a typed error
+	// the reporter sees (matching ErrRehydrate /
+	// taflocerr.ErrRehydrateFailed) instead of estimates silently never
+	// arriving. The zone stays registered either way; the next batch
+	// retries the store. Hot zones pay one atomic load and an LRU touch.
+	if _, err := s.ensureHot(z); err != nil {
+		z.dropped.Add(uint64(len(reports)))
+		return err
 	}
 	running := s.started.Load() && ctx != nil && ctx.Err() == nil
 	if z.unbuffered {

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"hash/maphash"
+	"sync/atomic"
+)
+
+// posShards is the shard count of the published-position map. Publish
+// replaces only the shard its zone hashes into, so the copy-on-write
+// cost per publish is len(shard) ≈ zones/posShards instead of the whole
+// zone population — the difference between publish staying flat and
+// publish going quadratic-aggregate somewhere around 10k hot zones. A
+// power of two keeps the index a mask. 64 shards hold the per-publish
+// copy under ~160 entries even at a million registered zones with 10k
+// publishing.
+const posShards = 64
+
+// posSeed keys the shard hash; any fixed seed works (the map is not
+// attacker-balanced, only load-balanced), but it must be identical for
+// every lookup of the same zone.
+var posSeed = maphash.MakeSeed()
+
+// positions is the sharded read-mostly estimate snapshot: one
+// copy-on-write map per shard behind an atomic pointer. Readers load
+// one pointer and index a plain map — no locks, same as the previous
+// single-map design. Writers (the locate stages, zone removal) are
+// already serialized under the service mutex; they copy and swap only
+// the affected shard.
+type positions struct {
+	shards [posShards]atomic.Pointer[map[string]Estimate]
+}
+
+func newPositions() *positions {
+	p := &positions{}
+	for i := range p.shards {
+		empty := make(map[string]Estimate)
+		p.shards[i].Store(&empty)
+	}
+	return p
+}
+
+func (p *positions) shard(zone string) *atomic.Pointer[map[string]Estimate] {
+	return &p.shards[maphash.String(posSeed, zone)&(posShards-1)]
+}
+
+// get is the lock-free read path.
+func (p *positions) get(zone string) (Estimate, bool) {
+	e, ok := (*p.shard(zone).Load())[zone]
+	return e, ok
+}
+
+// set publishes e into its zone's shard. Caller holds s.mu.
+func (p *positions) set(e Estimate) {
+	sh := p.shard(e.Zone)
+	old := *sh.Load()
+	next := make(map[string]Estimate, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[e.Zone] = e
+	sh.Store(&next)
+}
+
+// delete removes a zone's entry, if present. Caller holds s.mu.
+func (p *positions) delete(zone string) {
+	sh := p.shard(zone)
+	old := *sh.Load()
+	if _, ok := old[zone]; !ok {
+		return
+	}
+	next := make(map[string]Estimate, len(old))
+	for k, v := range old {
+		if k != zone {
+			next[k] = v
+		}
+	}
+	sh.Store(&next)
+}
+
+// all merges every shard into one fresh map (the reader's own copy).
+// Shards are loaded one by one, so the merge is consistent per shard
+// but not across shards — the same freshness contract the single-map
+// design gave a reader iterating while publishes continued.
+func (p *positions) all() map[string]Estimate {
+	out := make(map[string]Estimate)
+	for i := range p.shards {
+		for k, v := range *p.shards[i].Load() {
+			out[k] = v
+		}
+	}
+	return out
+}

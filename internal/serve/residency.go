@@ -1,0 +1,228 @@
+package serve
+
+// Tiered zone storage: the residency tier over internal/store. A
+// registered zone is either hot (its core.System — and therefore its
+// immutable Model, the dominant per-zone allocation — is resident) or
+// cold (the System pointer is nil and the zone's calibrated state lives
+// only as a snapshot in the service's store). Everything else a zone
+// owns — ingest queue, fold windows, counters, trajectory state —
+// stays resident across eviction, which is why an evicted-and-
+// rehydrated zone publishes bit-identical estimates to one that was
+// never evicted: eviction removes exactly the state that
+// ExportState/RestoreSystem round-trips losslessly, and nothing more.
+//
+// Transitions are guarded by the per-zone resMu. In-flight fold and
+// locate tasks are never quiesced for an eviction: each task carries
+// the *core.System it resolved at fold time, and a System's read plane
+// is immutable, so a task races an eviction only in the harmless sense
+// of finishing against a Model whose zone has since gone cold. The LRU
+// is approximate by design — a per-zone logical timestamp bumped on
+// every touch, scanned only when the service is over cap — so the
+// publish hot path pays one atomic store, never an ordering structure.
+
+import (
+	"errors"
+
+	"tafloc/internal/core"
+	"tafloc/internal/snap"
+	"tafloc/taflocerr"
+)
+
+// touch bumps the zone's LRU timestamp: one atomic add and one store,
+// cheap enough for every ingest, publish, and read that should count as
+// recent use.
+func (s *Service) touch(z *zone) {
+	z.lastTouch.Store(s.lruClock.Add(1))
+}
+
+// ensureHot returns the zone's resident System, rehydrating it from the
+// snapshot store first when the zone is cold. Rehydration is
+// single-flight per zone (resMu); a failure counts into the zone's
+// RehydrateErrors, surfaces as a taflocerr.CodeRehydrateFailed error,
+// and leaves the zone registered and cold — the next call retries from
+// scratch, so a store that heals heals the zone.
+func (s *Service) ensureHot(z *zone) (*core.System, error) {
+	s.touch(z)
+	if sys := z.sys.Load(); sys != nil {
+		return sys, nil
+	}
+	z.resMu.Lock()
+	sys, err := s.rehydrateLocked(z)
+	z.resMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	// The rehydrate may have pushed the service over its hot cap; evict
+	// the coldest zone(s) outside resMu (eviction takes the victim's).
+	s.enforceCap()
+	return sys, nil
+}
+
+// rehydrateLocked restores the zone's System from the store. Caller
+// holds z.resMu.
+func (s *Service) rehydrateLocked(z *zone) (*core.System, error) {
+	if sys := z.sys.Load(); sys != nil {
+		return sys, nil // lost the race to another rehydrator: done
+	}
+	if z.isStopped() {
+		// Removed (or mid-swap) while we held a stale reference; the zone
+		// will not serve again under this shard object.
+		return nil, ErrUnknownZone
+	}
+	fail := func(err error) (*core.System, error) {
+		z.rehydrateErrors.Add(1)
+		return nil, taflocerr.Errorf(taflocerr.CodeRehydrateFailed,
+			"serve: rehydrate zone %q: %w", z.id, err)
+	}
+	if s.store == nil {
+		// Unreachable through eviction (zones only go cold via a store),
+		// but a direct construction bug should fail typed, not panic.
+		return fail(errors.New("no snapshot store configured"))
+	}
+	sn, err := snap.ReadStore(s.store, z.id)
+	if err != nil {
+		return fail(err)
+	}
+	sys, err := core.RestoreSystem(sn.State)
+	if err != nil {
+		return fail(err)
+	}
+	if m := sys.Layout().M(); m != len(z.win) {
+		// The zone's resident ingest state was sized for its deployment;
+		// a snapshot with a different link count is not this zone's.
+		return fail(taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt,
+			"stored snapshot has %d links, zone has %d", m, len(z.win)))
+	}
+	z.sys.Store(sys)
+	z.rehydrates.Add(1)
+	s.hotCount.Add(1)
+	return sys, nil
+}
+
+// evictZone demotes a zone to cold: snapshot its calibrated state into
+// the store, then drop the System. The write happens first and gates
+// the drop — on a store failure the zone stays hot (EvictErrors counts
+// it) and keeps serving, which is the degradation contract: a broken
+// store costs memory headroom, never correctness. A Model swapped in by
+// a concurrent UpdateContext between export and drop aborts the
+// eviction (the snapshot written is consistent but already stale; the
+// zone stays hot and a later pass re-evicts).
+func (s *Service) evictZone(z *zone) error {
+	z.resMu.Lock()
+	defer z.resMu.Unlock()
+	if z.isStopped() {
+		return nil // being removed or swapped; nothing to demote
+	}
+	sys := z.sys.Load()
+	if sys == nil {
+		return nil // already cold
+	}
+	model := sys.Model()
+	sn := s.buildSnapshot(z, sys)
+	if err := snap.WriteStore(s.store, sn); err != nil {
+		z.evictErrors.Add(1)
+		return taflocerr.Errorf(taflocerr.CodeOf(err),
+			"serve: evict zone %q: %w", z.id, err)
+	}
+	if sys.Model() != model {
+		return taflocerr.Errorf(taflocerr.CodeInternal,
+			"serve: zone %q model updated during eviction; zone stays hot", z.id)
+	}
+	z.sys.Store(nil)
+	z.evictions.Add(1)
+	s.hotCount.Add(-1)
+	return nil
+}
+
+// enforceCap evicts least-recently-touched zones until the resident
+// count is back under Config.MaxHotZones. It runs off the publish and
+// rehydrate paths and costs one atomic load when the service is under
+// cap; over cap it scans the zone table per eviction (O(zones), paid
+// only while actually evicting). An eviction failure ends the pass —
+// the next publish retries — so a wedged store cannot spin a worker.
+func (s *Service) enforceCap() {
+	max := int64(s.cfg.MaxHotZones)
+	if max <= 0 || s.store == nil {
+		return
+	}
+	for s.hotCount.Load() > max {
+		v := s.coldestHot()
+		if v == nil {
+			return
+		}
+		if err := s.evictZone(v); err != nil {
+			return
+		}
+	}
+}
+
+// coldestHot returns the hot zone with the oldest LRU timestamp, or nil
+// when no zone is hot.
+func (s *Service) coldestHot() *zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best *zone
+	var bestTouch int64
+	for _, z := range s.zones {
+		if z.sys.Load() == nil {
+			continue
+		}
+		if t := z.lastTouch.Load(); best == nil || t < bestTouch {
+			best, bestTouch = z, t
+		}
+	}
+	return best
+}
+
+// HotZones reports how many registered zones currently hold a resident
+// Model.
+func (s *Service) HotZones() int { return int(s.hotCount.Load()) }
+
+// EvictZone forces a zone cold right now, regardless of the LRU order
+// or the hot cap: checkpoint to the snapshot store, then drop the
+// resident Model. The zone stays registered and rehydrates on its next
+// report, locate, track, or snapshot request. It fails with
+// taflocerr.CodeUnsupported when the service has no snapshot store, and
+// with the store's error (zone left hot) when the checkpoint write
+// fails.
+func (s *Service) EvictZone(id string) error {
+	if s.store == nil {
+		return taflocerr.Errorf(taflocerr.CodeUnsupported,
+			"serve: no snapshot store configured; set Config.Store or Config.MaxHotZones")
+	}
+	s.mu.RLock()
+	z, ok := s.zones[id]
+	s.mu.RUnlock()
+	if !ok {
+		return ErrUnknownZone
+	}
+	return s.evictZone(z)
+}
+
+// RehydrateZone forces a cold zone hot right now (a no-op on a hot
+// one): the warm-up counterpart of EvictZone, for operators who want a
+// zone resident before its first request.
+func (s *Service) RehydrateZone(id string) error {
+	s.mu.RLock()
+	z, ok := s.zones[id]
+	s.mu.RUnlock()
+	if !ok {
+		return ErrUnknownZone
+	}
+	_, err := s.ensureHot(z)
+	return err
+}
+
+// residentZones counts hot zones directly from the zone table, so
+// tests can cross-check the running hotCount against ground truth.
+func (s *Service) residentZones() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, z := range s.zones {
+		if z.sys.Load() != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -12,6 +12,7 @@ import (
 	"tafloc/internal/api"
 	"tafloc/internal/core"
 	"tafloc/internal/mat"
+	"tafloc/internal/store"
 	"tafloc/internal/track"
 	"tafloc/internal/wire"
 	"tafloc/taflocerr"
@@ -27,6 +28,7 @@ var (
 	ErrQueueFull   error = taflocerr.New(taflocerr.CodeQueueFull, "serve: zone queue full")
 	ErrStarted     error = taflocerr.New(taflocerr.CodeStarted, "serve: service already started")
 	ErrBadReport   error = taflocerr.New(taflocerr.CodeBadLink, "serve: report link out of range")
+	ErrRehydrate   error = taflocerr.New(taflocerr.CodeRehydrateFailed, "serve: zone rehydrate failed")
 )
 
 // ZoneFactory builds a core.System for a zone created over the wire
@@ -93,6 +95,21 @@ type Config struct {
 	Track track.Options
 	// ZoneFactory enables zone creation over the /v2 HTTP surface.
 	ZoneFactory ZoneFactory
+	// MaxHotZones caps how many zones may hold a resident Model at once
+	// (default 0 = unlimited, every zone stays hot; negative = 1, the
+	// smallest useful cache). When the service is over the cap, the
+	// least-recently-touched hot zone is checkpointed into Store and its
+	// Model dropped; the zone stays registered and rehydrates
+	// transparently on its next report, locate, track, or snapshot
+	// request.
+	MaxHotZones int
+	// Store is the snapshot store behind eviction, rehydration, and the
+	// forced EvictZone/RehydrateZone transitions. Leaving it nil with a
+	// positive MaxHotZones selects an in-memory store (eviction then
+	// bounds resident Models without surviving the process); production
+	// deployments point it at the same directory store the checkpointer
+	// uses, so evicted state and crash-recovery state are one artifact.
+	Store store.Store
 }
 
 // withDefaults normalizes a Config: zero fields become the documented
@@ -155,6 +172,12 @@ func (c Config) withDefaults() Config {
 	if c.Track == (track.Options{}) {
 		c.Track = track.DefaultOptions()
 	}
+	if c.MaxHotZones < 0 {
+		c.MaxHotZones = 1
+	}
+	if c.MaxHotZones > 0 && c.Store == nil {
+		c.Store = store.NewMem()
+	}
 	return c
 }
 
@@ -198,11 +221,24 @@ type zoneConfig struct {
 // estimate order is what it was under the worker-per-zone design. An
 // idle zone costs no goroutine at all.
 type zone struct {
-	id         string
-	sys        *core.System
+	id string
+	// sys is the zone's residency slot: the System (and its Model) when
+	// the zone is hot, nil when it has been evicted to the snapshot
+	// store. Tasks resolve it once per round through ensureHot and carry
+	// the resolved pointer, so a concurrent eviction can never yank a
+	// System out from under a running fold or locate. Transitions are
+	// serialized by resMu; see residency.go.
+	sys        atomic.Pointer[core.System]
 	zc         zoneConfig
 	queue      chan []Report
 	unbuffered bool // QueueDepth 0: rendezvous semantics over a cap-1 queue
+
+	// Residency machinery: resMu serializes evict/rehydrate transitions
+	// (never held on the steady-state hot path); lastTouch is the zone's
+	// logical LRU timestamp, written on every touch, scanned only when
+	// the service is over its hot cap.
+	resMu     sync.Mutex
+	lastTouch atomic.Int64
 
 	// per-link ring windows: win holds every sample (a vacant room is a
 	// valid live measurement); vwin holds only vacant-flagged samples and
@@ -221,6 +257,13 @@ type zone struct {
 	estimates   atomic.Uint64
 	matchErrors atomic.Uint64
 	starved     atomic.Uint64
+
+	// Residency counters (see api.ZoneStats for what each one means to
+	// an operator).
+	evictions       atomic.Uint64
+	rehydrates      atomic.Uint64
+	rehydrateErrors atomic.Uint64
+	evictErrors     atomic.Uint64
 
 	// Run-state machine, guarded by schedMu. foldBusy marks a fold task
 	// scheduled or running; locBusy a locate task. pend holds the one
@@ -265,15 +308,23 @@ type Service struct {
 	order    []string
 	watchers map[string]map[chan Estimate]bool
 
-	exec    *executor
-	snap    atomic.Pointer[map[string]Estimate]
-	seq     atomic.Uint64
-	streams atomic.Int64 // open NDJSON report streams (health gauge)
-	started atomic.Bool
-	start   time.Time
-	runCtx  context.Context // the Start context; parent of every task
-	cancel  context.CancelFunc
-	wg      sync.WaitGroup
+	exec *executor
+	// pos is the sharded read-mostly position snapshot: publishes copy
+	// and swap one shard, reads load one pointer (see positions.go).
+	pos *positions
+	// store/hotCount/lruClock drive the residency tier (residency.go):
+	// the snapshot store zones evict into, the count of zones holding a
+	// resident Model, and the logical clock behind the approximate LRU.
+	store    store.Store
+	hotCount atomic.Int64
+	lruClock atomic.Int64
+	seq      atomic.Uint64
+	streams  atomic.Int64 // open NDJSON report streams (health gauge)
+	started  atomic.Bool
+	start    time.Time
+	runCtx   context.Context // the Start context; parent of every task
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
 }
 
 // NewService builds an empty service with the given configuration. An
@@ -290,10 +341,10 @@ func NewService(cfg Config) (*Service, error) {
 		defZC:    zc,
 		zones:    make(map[string]*zone),
 		watchers: make(map[string]map[chan Estimate]bool),
+		store:    cfg.Store,
 	}
 	s.exec = newExecutor()
-	empty := make(map[string]Estimate)
-	s.snap.Store(&empty)
+	s.pos = newPositions()
 	return s, nil
 }
 
@@ -364,7 +415,6 @@ func (s *Service) newZone(id string, sys *core.System, zc zoneConfig, tracker *t
 	}
 	z := &zone{
 		id:         id,
-		sys:        sys,
 		zc:         zc,
 		queue:      make(chan []Report, depth),
 		unbuffered: unbuffered,
@@ -375,6 +425,7 @@ func (s *Service) newZone(id string, sys *core.System, zc zoneConfig, tracker *t
 		vidx:       make([]int, m),
 		vfill:      make([]int, m),
 	}
+	z.sys.Store(sys)
 	for i := range z.win {
 		z.win[i] = make([]float64, zc.window)
 		z.vwin[i] = make([]float64, zc.window)
@@ -419,7 +470,11 @@ func (z *zone) isStopped() bool {
 // stopped service rejects new zones — their reports could never be
 // processed.
 func (s *Service) AddZone(id string, sys *core.System) error {
-	return s.addZone(id, sys, s.defZC, nil)
+	if err := s.addZone(id, sys, s.defZC, nil); err != nil {
+		return err
+	}
+	s.enforceCap()
+	return nil
 }
 
 // addZone registers a zone under an explicit per-zone configuration
@@ -440,9 +495,14 @@ func (s *Service) addZone(id string, sys *core.System, zc zoneConfig, tracker *t
 	if _, ok := s.zones[id]; ok {
 		return ErrZoneExists
 	}
-	s.zones[id] = s.newZone(id, sys, zc, tracker)
+	z := s.newZone(id, sys, zc, tracker)
+	s.touch(z)
+	s.zones[id] = z
 	s.order = append(s.order, id)
 	sort.Strings(s.order)
+	// A fresh zone is hot by construction; the caller runs enforceCap
+	// once s.mu is released (coldestHot read-locks it).
+	s.hotCount.Add(1)
 	return nil
 }
 
@@ -474,17 +534,24 @@ func (s *Service) RemoveZone(id string) error {
 	z.stop()
 	z.tasks.Wait()
 
-	s.mu.Lock()
-	old := *s.snap.Load()
-	if _, ok := old[id]; ok {
-		next := make(map[string]Estimate, len(old))
-		for k, v := range old {
-			if k != id {
-				next[k] = v
-			}
-		}
-		s.snap.Store(&next)
+	// Residency cleanup, serialized with any in-flight eviction or
+	// rehydration through resMu: settle the hot accounting against the
+	// zone's final state, and make the removal durable by deleting its
+	// snapshot from the store — an eviction that raced the removal (its
+	// Put completing just before this lock) is erased here, and one that
+	// arrives after sees the stopped zone and writes nothing, so a
+	// removed zone can never resurrect on the next boot.
+	z.resMu.Lock()
+	if z.sys.Load() != nil {
+		s.hotCount.Add(-1)
 	}
+	if s.store != nil {
+		_ = s.store.Delete(id) // best effort; List/Get failures surface elsewhere
+	}
+	z.resMu.Unlock()
+
+	s.mu.Lock()
+	s.pos.delete(id)
 	term := Estimate{
 		Zone:  id,
 		Seq:   s.seq.Add(1),
@@ -561,6 +628,17 @@ func (s *Service) UpdateZone(id string, sys *core.System) error {
 // reader still holding the old shard keeps a consistent snapshot and
 // can never race the new zone's tasks. Caller holds s.mu.
 func (s *Service) swapZoneLocked(z *zone, sys *core.System) {
+	// Stop the old shard unconditionally (the running path already did;
+	// the pre-Start path has no tasks, so this only flips the flag) and
+	// settle residency: the replacement is hot by construction, so a
+	// cold old zone means one more resident Model. resMu serializes the
+	// read against an eviction that was mid-write when the swap began.
+	z.stop()
+	z.resMu.Lock()
+	if z.sys.Load() == nil {
+		s.hotCount.Add(1)
+	}
+	z.resMu.Unlock()
 	z.trackMu.Lock()
 	var tracker *track.Tracker
 	if z.tracker != nil {
@@ -581,6 +659,11 @@ func (s *Service) swapZoneLocked(z *zone, sys *core.System) {
 	nz.estimates.Store(z.estimates.Load())
 	nz.matchErrors.Store(z.matchErrors.Load())
 	nz.starved.Store(z.starved.Load())
+	nz.evictions.Store(z.evictions.Load())
+	nz.rehydrates.Store(z.rehydrates.Load())
+	nz.rehydrateErrors.Store(z.rehydrateErrors.Load())
+	nz.evictErrors.Store(z.evictErrors.Load())
+	s.touch(nz)
 	s.zones[z.id] = nz
 }
 
@@ -592,15 +675,34 @@ func (s *Service) Zones() []string {
 }
 
 // System returns the core.System behind a zone, for fingerprint updates
-// (System.Update is safe to run while the zone keeps serving).
+// (System.Update is safe to run while the zone keeps serving). A cold
+// zone is rehydrated first — the caller wants the live Model, and a
+// fingerprint update needs somewhere to land. ok is false when the zone
+// is unknown or when it is cold and its rehydrate failed (the zone
+// stays registered; retry once the store heals).
 func (s *Service) System(id string) (*core.System, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	z, ok := s.zones[id]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, false
 	}
-	return z.sys, true
+	sys, err := s.ensureHot(z)
+	if err != nil {
+		return nil, false
+	}
+	return sys, true
+}
+
+// zoneExists is the cheap registration check for request routing: it
+// never touches residency, so asking "is this zone registered" (a
+// position read, a watch subscription) cannot fault a cold zone's
+// Model back in.
+func (s *Service) zoneExists(id string) bool {
+	s.mu.RLock()
+	_, ok := s.zones[id]
+	s.mu.RUnlock()
+	return ok
 }
 
 // Start launches the shared locate-executor pool: Config.LocateWorkers
@@ -657,7 +759,7 @@ func (s *Service) runTask(t task) {
 	case foldTask:
 		s.runFold(t.z)
 	case locateTask:
-		s.runLocate(t.z, t.y, t.e)
+		s.runLocate(t.z, t.sys, t.y, t.e)
 	}
 }
 
@@ -716,20 +818,13 @@ func (s *Service) Uptime() time.Duration {
 // atomic snapshot load — no lock, never blocked by ingestion or updates.
 // ok is false when the zone is unknown or has not published yet.
 func (s *Service) Position(id string) (Estimate, bool) {
-	snap := *s.snap.Load()
-	e, ok := snap[id]
-	return e, ok
+	return s.pos.get(id)
 }
 
 // Positions returns the current snapshot of all published estimates. The
 // returned map is the reader's own copy.
 func (s *Service) Positions() map[string]Estimate {
-	snap := *s.snap.Load()
-	out := make(map[string]Estimate, len(snap))
-	for k, v := range snap {
-		out[k] = v
-	}
-	return out
+	return s.pos.all()
 }
 
 // Watch subscribes to a zone's estimate stream. The returned channel
@@ -758,7 +853,7 @@ func (s *Service) Watch(id string) (<-chan Estimate, func(), error) {
 		s.watchers[id] = set
 	}
 	set[ch] = true
-	if e, ok := (*s.snap.Load())[id]; ok {
+	if e, ok := s.pos.get(id); ok {
 		ch <- e // buffer is empty here, cannot block
 	}
 	stop := func() {
@@ -781,13 +876,18 @@ func (s *Service) Stats() map[string]ZoneStats {
 	out := make(map[string]ZoneStats, len(s.zones))
 	for id, z := range s.zones {
 		out[id] = ZoneStats{
-			Received:    z.received.Load(),
-			Dropped:     z.dropped.Load(),
-			Batches:     z.batches.Load(),
-			Estimates:   z.estimates.Load(),
-			MatchErrors: z.matchErrors.Load(),
-			Starved:     z.starved.Load(),
-			QueueLen:    len(z.queue),
+			Received:        z.received.Load(),
+			Dropped:         z.dropped.Load(),
+			Batches:         z.batches.Load(),
+			Estimates:       z.estimates.Load(),
+			MatchErrors:     z.matchErrors.Load(),
+			Starved:         z.starved.Load(),
+			QueueLen:        len(z.queue),
+			Cold:            z.sys.Load() == nil,
+			Evictions:       z.evictions.Load(),
+			Rehydrates:      z.rehydrates.Load(),
+			RehydrateErrors: z.rehydrateErrors.Load(),
+			EvictErrors:     z.evictErrors.Load(),
 		}
 	}
 	return out
@@ -905,7 +1005,19 @@ func (s *Service) prepareEstimate(z *zone) {
 		}
 		y[i] = sum / float64(z.wfill[i])
 	}
-	present, dev := s.detect(z, y)
+	// Resolve the zone's System once for the whole fold→locate round and
+	// thread it through the task chain: detection and localization then
+	// run against one consistent Model even if the zone is evicted (or
+	// updated) mid-round. The ingest path already rehydrated, so this
+	// only pays a store read when an eviction squeezed in between; a
+	// rehydrate failure here ends the round (the error is counted and
+	// the next round retries) rather than publishing anything.
+	sys, err := s.ensureHot(z)
+	if err != nil {
+		mat.PutFloats(y)
+		return
+	}
+	present, dev := s.detect(z, sys, y)
 	e := Estimate{
 		Zone:        z.id,
 		Present:     present,
@@ -917,7 +1029,7 @@ func (s *Service) prepareEstimate(z *zone) {
 		mat.PutFloats(y)
 		y = nil
 	}
-	s.dispatchLocate(z, y, e)
+	s.dispatchLocate(z, sys, y, e)
 }
 
 // dispatchLocate hands a prepared estimate to the zone's locate stage.
@@ -925,7 +1037,7 @@ func (s *Service) prepareEstimate(z *zone) {
 // single pending slot (freshest wins), so a zone whose match queries
 // are slower than its ingest folds ahead without queueing unbounded
 // work — and the fold stage never blocks on the locate stage.
-func (s *Service) dispatchLocate(z *zone, y []float64, e Estimate) {
+func (s *Service) dispatchLocate(z *zone, sys *core.System, y []float64, e Estimate) {
 	z.schedMu.Lock()
 	switch {
 	case z.stopped:
@@ -936,12 +1048,12 @@ func (s *Service) dispatchLocate(z *zone, y []float64, e Estimate) {
 		if z.hasPend {
 			mat.PutFloats(z.pend.y)
 		}
-		z.pend = task{y: y, e: e}
+		z.pend = task{sys: sys, y: y, e: e}
 		z.hasPend = true
 	default:
 		z.locBusy = true
 		z.tasks.Add(1)
-		if !s.exec.submit(task{z: z, kind: locateTask, y: y, e: e}) {
+		if !s.exec.submit(task{z: z, kind: locateTask, sys: sys, y: y, e: e}) {
 			// Executor closed (service stopping): unwind and drop the
 			// round, as shutdown drops queued work.
 			z.locBusy = false
@@ -956,13 +1068,14 @@ func (s *Service) dispatchLocate(z *zone, y []float64, e Estimate) {
 // zone's current Model (one atomic load, no locks — the executor
 // workers all read shared Models concurrently), publish, and loop onto
 // the coalesced pending estimate if one arrived meanwhile.
-func (s *Service) runLocate(z *zone, y []float64, e Estimate) {
+func (s *Service) runLocate(z *zone, sys *core.System, y []float64, e Estimate) {
 	defer z.tasks.Done()
+	published := false
 	for {
 		if !s.serviceStopped() && !z.isStopped() {
 			ok := true
 			if e.Present && y != nil {
-				loc, err := z.sys.Locate(y)
+				loc, err := sys.Locate(y)
 				if err != nil {
 					z.matchErrors.Add(1)
 					ok = false
@@ -976,6 +1089,7 @@ func (s *Service) runLocate(z *zone, y []float64, e Estimate) {
 			if ok {
 				s.publish(z, e)
 				z.estimates.Add(1)
+				published = true
 			}
 		}
 		mat.PutFloats(y)
@@ -983,9 +1097,15 @@ func (s *Service) runLocate(z *zone, y []float64, e Estimate) {
 		if z.stopped || !z.hasPend {
 			z.locBusy = false
 			z.schedMu.Unlock()
+			// Publishing marked this zone recently used; evict colder
+			// ones if the service is over its hot cap. Off the locked
+			// publish path: one atomic load when under cap.
+			if published {
+				s.enforceCap()
+			}
 			return
 		}
-		y, e = z.pend.y, z.pend.e
+		sys, y, e = z.pend.sys, z.pend.y, z.pend.e
 		z.pend = task{}
 		z.hasPend = false
 		z.schedMu.Unlock()
@@ -999,8 +1119,8 @@ func (s *Service) runLocate(z *zone, y []float64, e Estimate) {
 // fingerprint updates. A zone with a zero threshold has the gate
 // disabled: the deviation is still computed (and published), but the
 // target always counts as present.
-func (s *Service) detect(z *zone, y []float64) (bool, float64) {
-	vac := z.sys.Vacant()
+func (s *Service) detect(z *zone, sys *core.System, y []float64) (bool, float64) {
+	vac := sys.Vacant()
 	fresh := true
 	for i := range z.vfill {
 		if z.vfill[i] == 0 {
@@ -1038,18 +1158,13 @@ func (s *Service) publish(z *zone, e Estimate) {
 	e.Time = time.Now().Round(0)
 	s.mu.Lock()
 	e.Seq = s.seq.Add(1)
-	old := *s.snap.Load()
-	next := make(map[string]Estimate, len(old)+1)
-	for k, v := range old {
-		next[k] = v
-	}
-	next[e.Zone] = e
-	s.snap.Store(&next)
+	s.pos.set(e)
 	for ch := range s.watchers[e.Zone] {
 		sendOrDropOldest(ch, e)
 	}
 	if z != nil {
 		z.recordTrack(e)
+		s.touch(z)
 	}
 	s.mu.Unlock()
 }

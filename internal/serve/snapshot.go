@@ -3,15 +3,11 @@ package serve
 import (
 	"context"
 	"errors"
-	"net/url"
-	"os"
-	"path/filepath"
-	"sort"
-	"strings"
 	"time"
 
 	"tafloc/internal/core"
 	"tafloc/internal/snap"
+	"tafloc/internal/store"
 	"tafloc/internal/track"
 	"tafloc/taflocerr"
 )
@@ -23,10 +19,20 @@ import (
 // would for the same report stream, and keeps the serving configuration
 // (window, detector, threshold) it was captured under even when the
 // restoring service was built with different defaults.
+//
+// Snapshots move through the internal/store.Store interface: Checkpoint
+// and RestoreDir are thin wrappers binding the historical directory
+// layout (store.Dir) to the store-generic CheckpointStore and
+// RestoreStore, and the residency tier (residency.go) moves the same
+// artifact through the same interface when it evicts and rehydrates
+// zones — tiered storage and crash recovery share one format, one
+// integrity check, and one store abstraction.
 
 // SnapshotZone exports a zone's calibrated deployment as an encoded
 // snapshot. The export is a consistent deep copy — the zone keeps
-// serving while the bytes are written out.
+// serving while the bytes are written out. A cold zone is rehydrated
+// first (an export wants the current Model, and touching a zone is
+// exactly what makes it recently used).
 func (s *Service) SnapshotZone(id string) ([]byte, error) {
 	sn, err := s.snapshotZone(id)
 	if err != nil {
@@ -42,12 +48,25 @@ func (s *Service) snapshotZone(id string) (*snap.Snapshot, error) {
 	if !ok {
 		return nil, ErrUnknownZone
 	}
+	sys, err := s.ensureHot(z)
+	if err != nil {
+		return nil, err
+	}
+	return s.buildSnapshot(z, sys), nil
+}
+
+// buildSnapshot captures a zone's persistent state over an explicit
+// System: the calibrated state export plus the per-zone serving
+// configuration and the live trajectory filter. Shared by the export,
+// checkpoint, and eviction paths, so every snapshot the service writes
+// has identical shape regardless of why it was written.
+func (s *Service) buildSnapshot(z *zone, sys *core.System) *snap.Snapshot {
 	history := z.zc.history
 	if history == 0 {
 		history = -1 // explicitly disabled — distinct from v1's "not recorded"
 	}
 	sn := &snap.Snapshot{
-		Zone:    id,
+		Zone:    z.id,
 		SavedAt: time.Now(),
 		Config: snap.ZoneConfig{
 			Window:            z.zc.window,
@@ -56,7 +75,7 @@ func (s *Service) snapshotZone(id string) (*snap.Snapshot, error) {
 			History:           history,
 			Track:             z.zc.trk,
 		},
-		State: z.sys.ExportState(),
+		State: sys.ExportState(),
 	}
 	z.trackMu.Lock()
 	if z.tracker != nil {
@@ -64,7 +83,7 @@ func (s *Service) snapshotZone(id string) (*snap.Snapshot, error) {
 		sn.Track = &ts
 	}
 	z.trackMu.Unlock()
-	return sn, nil
+	return sn
 }
 
 // RestoreZone warm-starts a zone from an encoded snapshot: decode,
@@ -79,7 +98,12 @@ func (s *Service) RestoreZone(data []byte) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return s.restoreSnapshot(sn)
+	id, err := s.restoreSnapshot(sn)
+	if err != nil {
+		return "", err
+	}
+	s.enforceCap()
+	return id, nil
 }
 
 // maxRestoreWindow bounds the per-link window length a snapshot may
@@ -153,57 +177,60 @@ func (s *Service) restoreSnapshot(sn *snap.Snapshot) (string, error) {
 	return sn.Zone, nil
 }
 
-// snapFileName maps a zone ID to its snapshot file name. IDs arrive
-// over HTTP and may contain path separators; escaping keeps every zone
-// inside the state directory and the mapping reversible.
-func snapFileName(id string) string {
-	return url.PathEscape(id) + ".snap"
-}
-
-// Checkpoint snapshots every registered zone into dir, one
-// atomically-replaced "<escaped-id>.snap" file per zone. Zones removed
-// mid-walk are skipped. The first write error aborts the walk.
+// CheckpointStore snapshots every registered zone into dst. Hot zones
+// export their live state; cold zones copy their already-current bytes
+// straight from the residency store, so a checkpoint never rehydrates
+// the cold tier (the whole point of which is not being resident). Zones
+// removed mid-walk are skipped. The first write error aborts the walk.
 //
-// The service owns the directory: after writing, Checkpoint prunes
-// ".snap" files whose zone is no longer registered, so a zone removed
-// at runtime stays removed across restarts instead of resurrecting
-// from its stale snapshot on the next boot.
-func (s *Service) Checkpoint(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
+// The service owns the destination's snapshot namespace: after writing,
+// CheckpointStore prunes stored zones that are no longer registered, so
+// a zone removed at runtime stays removed across restarts instead of
+// resurrecting from its stale snapshot on the next boot. Entries a
+// backend cannot attribute to this service (foreign files in a shared
+// directory, say) are never listed by the backend and thus never
+// pruned.
+func (s *Service) CheckpointStore(dst store.Store) error {
 	for _, id := range s.Zones() {
-		sn, err := s.snapshotZone(id)
-		if err != nil {
-			if errors.Is(err, ErrUnknownZone) {
-				continue // removed since Zones()
-			}
-			return err
+		s.mu.RLock()
+		z, ok := s.zones[id]
+		s.mu.RUnlock()
+		if !ok {
+			continue // removed since Zones()
 		}
-		if err := snap.WriteFile(filepath.Join(dir, snapFileName(id)), sn); err != nil {
+		// Hold resMu across the copy-or-export decision so a concurrent
+		// eviction cannot drop the System between the load and the
+		// export, nor a rehydrate race the cold-bytes copy.
+		z.resMu.Lock()
+		var err error
+		if sys := z.sys.Load(); sys != nil {
+			err = snap.WriteStore(dst, s.buildSnapshot(z, sys))
+		} else if s.store != nil && dst != s.store {
+			var data []byte
+			if data, err = s.store.Get(id); err == nil {
+				err = dst.Put(id, data)
+			}
+		}
+		// else: cold zone, checkpointing into the residency store itself —
+		// the store already holds the zone's current snapshot (eviction
+		// wrote it); copying it onto itself would be a no-op.
+		z.resMu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
-	entries, err := os.ReadDir(dir)
+	stored, err := dst.List()
 	if err != nil {
 		return err
 	}
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".snap") {
-			continue
-		}
-		id, err := url.PathUnescape(strings.TrimSuffix(name, ".snap"))
-		if err != nil {
-			continue // not a name this service wrote; leave it alone
-		}
-		// Re-check liveness per file rather than against the earlier
+	for _, id := range stored {
+		// Re-check liveness per entry rather than against the earlier
 		// Zones() slice, so a zone added mid-checkpoint is never pruned.
 		s.mu.RLock()
 		_, live := s.zones[id]
 		s.mu.RUnlock()
 		if !live {
-			if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			if err := dst.Delete(id); err != nil {
 				return err
 			}
 		}
@@ -211,42 +238,50 @@ func (s *Service) Checkpoint(dir string) error {
 	return nil
 }
 
-// RestoreDir warm-starts every "*.snap" file in dir, in sorted order.
-// It returns the IDs restored. Files that fail to decode or restore do
-// not stop the others; their errors are joined into the returned error,
-// so a boot can both serve the healthy zones and report the damaged
-// files. A missing directory restores nothing.
-func (s *Service) RestoreDir(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+// Checkpoint snapshots every registered zone into dir, one
+// atomically-replaced "<escaped-id>.snap" file per zone — the
+// directory-store binding of CheckpointStore, byte-compatible with
+// every state directory previous releases wrote.
+func (s *Service) Checkpoint(dir string) error {
+	return s.CheckpointStore(store.NewDir(dir))
+}
+
+// RestoreStore warm-starts every zone stored in src, in sorted order,
+// and returns the IDs restored. Entries that fail to read, decode, or
+// restore do not stop the others; their errors are joined into the
+// returned error, so a boot can both serve the healthy zones and report
+// the damaged entries. When the service runs a hot-zone cap, restored
+// zones beyond it are evicted again as they register — a node can boot
+// a store holding far more zones than fit in memory.
+func (s *Service) RestoreStore(src store.Store) ([]string, error) {
+	zones, err := src.List()
 	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
-			return nil, nil
-		}
 		return nil, err
 	}
-	var names []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".snap") {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
 	var restored []string
 	var errs []error
-	for _, name := range names {
-		sn, err := snap.ReadFile(filepath.Join(dir, name))
+	for _, zoneID := range zones {
+		sn, err := snap.ReadStore(src, zoneID)
 		if err != nil {
-			errs = append(errs, taflocerr.Errorf(taflocerr.CodeOf(err), "serve: restore %s: %w", name, err))
+			errs = append(errs, taflocerr.Errorf(taflocerr.CodeOf(err), "serve: restore %q: %w", zoneID, err))
 			continue
 		}
 		id, err := s.restoreSnapshot(sn)
 		if err != nil {
-			errs = append(errs, taflocerr.Errorf(taflocerr.CodeOf(err), "serve: restore %s: %w", name, err))
+			errs = append(errs, taflocerr.Errorf(taflocerr.CodeOf(err), "serve: restore %q: %w", zoneID, err))
 			continue
 		}
 		restored = append(restored, id)
+		s.enforceCap()
 	}
 	return restored, errors.Join(errs...)
+}
+
+// RestoreDir warm-starts every "*.snap" file in dir — the
+// directory-store binding of RestoreStore. A missing directory restores
+// nothing.
+func (s *Service) RestoreDir(dir string) ([]string, error) {
+	return s.RestoreStore(store.NewDir(dir))
 }
 
 // StartCheckpointer runs a background checkpoint loop: every interval

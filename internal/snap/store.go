@@ -1,0 +1,48 @@
+package snap
+
+import (
+	"tafloc/taflocerr"
+)
+
+// Store-facing helpers: the codec side of tiered zone storage. The
+// serving layer moves snapshots through an internal/store.Store; these
+// helpers bind the codec to that byte interface without snap importing
+// the store package (ByteStore is satisfied structurally), keeping the
+// dependency arrow codec <- store-user rather than codec <-> store.
+
+// ByteStore is the slice of internal/store.Store the codec needs: a
+// keyed byte sink and source. internal/store.Store satisfies it.
+type ByteStore interface {
+	Put(zone string, data []byte) error
+	Get(zone string) ([]byte, error)
+}
+
+// WriteStore encodes s and stores it under its own zone ID.
+func WriteStore(st ByteStore, s *Snapshot) error {
+	data, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	return st.Put(s.Zone, data)
+}
+
+// ReadStore loads and decodes the snapshot stored for zone. A payload
+// that decodes to a different zone ID fails closed with
+// taflocerr.CodeSnapshotCorrupt: the store handed back someone else's
+// snapshot (a mislabelled backend, a torn namespace), and rehydrating a
+// zone from another zone's radio map must never succeed silently.
+func ReadStore(st ByteStore, zone string) (*Snapshot, error) {
+	data, err := st.Get(zone)
+	if err != nil {
+		return nil, err
+	}
+	sn, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if sn.Zone != zone {
+		return nil, taflocerr.Errorf(taflocerr.CodeSnapshotCorrupt,
+			"snap: store returned snapshot for zone %q, want %q", sn.Zone, zone)
+	}
+	return sn, nil
+}

@@ -1,0 +1,188 @@
+// Package storetest provides a deterministic fault-injecting wrapper
+// around any store.Store, for pinning the serving layer's degradation
+// contract: rehydrate failures must surface as typed errors with the
+// zone still registered, eviction write failures must leave the zone
+// hot and serving, and torn payloads must fail closed through the
+// snapshot codec's integrity checks. Faults are scripted per operation
+// — no randomness — so every failure a test provokes is reproducible.
+package storetest
+
+import (
+	"sync"
+	"time"
+
+	"tafloc/internal/store"
+)
+
+// Op names one Store operation for fault scripting and call accounting.
+type Op string
+
+// The four Store operations.
+const (
+	OpPut    Op = "put"
+	OpGet    Op = "get"
+	OpDelete Op = "delete"
+	OpList   Op = "list"
+)
+
+// Forever makes a fault rule apply to every matching call until the
+// rule is cleared, rather than a fixed number of times.
+const Forever = -1
+
+// rule is one armed fault. zone == "" matches every zone.
+type rule struct {
+	err     error
+	latency time.Duration
+	tear    int // truncate Get results to this many bytes when >= 0
+	remain  int // calls left; Forever = unlimited
+}
+
+// FaultStore wraps an inner Store and injects scripted faults. The
+// zero value is not usable; build one with New. All methods are safe
+// for concurrent use — the serving layer under test hits the store
+// from many goroutines at once.
+type FaultStore struct {
+	inner store.Store
+
+	mu    sync.Mutex
+	rules map[Op]map[string]*rule
+	calls map[Op]map[string]int
+}
+
+// New wraps inner with no faults armed.
+func New(inner store.Store) *FaultStore {
+	return &FaultStore{
+		inner: inner,
+		rules: make(map[Op]map[string]*rule),
+		calls: make(map[Op]map[string]int),
+	}
+}
+
+// FailOp arms op against zone to return err for the next n calls
+// (Forever for all). zone == "" matches every zone. The inner store is
+// not touched by a failed call, so a failed Put stores nothing.
+func (f *FaultStore) FailOp(op Op, zone string, err error, n int) {
+	f.arm(op, zone, &rule{err: err, tear: -1, remain: n})
+}
+
+// DelayOp arms op against zone to sleep d before running for the next
+// n calls (Forever for all). The call still reaches the inner store.
+func (f *FaultStore) DelayOp(op Op, zone string, d time.Duration, n int) {
+	f.arm(op, zone, &rule{latency: d, tear: -1, remain: n})
+}
+
+// TearGet arms Get against zone to return only the first keep bytes of
+// the stored snapshot for the next n calls (Forever for all) — a torn
+// read the snapshot codec must reject, never misdecode.
+func (f *FaultStore) TearGet(zone string, keep int, n int) {
+	if keep < 0 {
+		keep = 0
+	}
+	f.arm(OpGet, zone, &rule{tear: keep, remain: n})
+}
+
+// Clear disarms every fault rule. Call accounting is kept.
+func (f *FaultStore) Clear() {
+	f.mu.Lock()
+	f.rules = make(map[Op]map[string]*rule)
+	f.mu.Unlock()
+}
+
+// Calls reports how many times op ran against zone (including faulted
+// calls). zone == "" sums over all zones.
+func (f *FaultStore) Calls(op Op, zone string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if zone != "" {
+		return f.calls[op][zone]
+	}
+	total := 0
+	for _, n := range f.calls[op] {
+		total += n
+	}
+	return total
+}
+
+func (f *FaultStore) arm(op Op, zone string, r *rule) {
+	f.mu.Lock()
+	if f.rules[op] == nil {
+		f.rules[op] = make(map[string]*rule)
+	}
+	f.rules[op][zone] = r
+	f.mu.Unlock()
+}
+
+// before accounts one call and consumes a matching rule, returning the
+// fault to apply. An exact-zone rule wins over the wildcard.
+func (f *FaultStore) before(op Op, zone string) rule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.calls[op] == nil {
+		f.calls[op] = make(map[string]int)
+	}
+	f.calls[op][zone]++
+	r := f.rules[op][zone]
+	if r == nil {
+		r = f.rules[op][""]
+	}
+	if r == nil || r.remain == 0 {
+		return rule{tear: -1}
+	}
+	out := *r
+	if r.remain != Forever {
+		r.remain--
+	}
+	return out
+}
+
+// Put implements store.Store.
+func (f *FaultStore) Put(zone string, data []byte) error {
+	r := f.before(OpPut, zone)
+	if r.latency > 0 {
+		time.Sleep(r.latency)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	return f.inner.Put(zone, data)
+}
+
+// Get implements store.Store.
+func (f *FaultStore) Get(zone string) ([]byte, error) {
+	r := f.before(OpGet, zone)
+	if r.latency > 0 {
+		time.Sleep(r.latency)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	data, err := f.inner.Get(zone)
+	if err == nil && r.tear >= 0 && r.tear < len(data) {
+		data = data[:r.tear]
+	}
+	return data, err
+}
+
+// Delete implements store.Store.
+func (f *FaultStore) Delete(zone string) error {
+	r := f.before(OpDelete, zone)
+	if r.latency > 0 {
+		time.Sleep(r.latency)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	return f.inner.Delete(zone)
+}
+
+// List implements store.Store. List faults are armed under zone "".
+func (f *FaultStore) List() ([]string, error) {
+	r := f.before(OpList, "")
+	if r.latency > 0 {
+		time.Sleep(r.latency)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return f.inner.List()
+}

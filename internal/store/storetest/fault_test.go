@@ -1,0 +1,99 @@
+package storetest_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tafloc/internal/store"
+	"tafloc/internal/store/storetest"
+)
+
+func TestFailOpCountsDown(t *testing.T) {
+	boom := errors.New("disk on fire")
+	fs := storetest.New(store.NewMem())
+	fs.FailOp(storetest.OpPut, "z", boom, 2)
+	for i := 0; i < 2; i++ {
+		if err := fs.Put("z", []byte("x")); !errors.Is(err, boom) {
+			t.Fatalf("Put %d: %v, want injected error", i, err)
+		}
+	}
+	// A failed Put must not have reached the inner store.
+	if _, err := fs.Get("z"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Get after failed Puts: %v, want ErrNotFound", err)
+	}
+	if err := fs.Put("z", []byte("x")); err != nil {
+		t.Fatalf("Put after rule exhausted: %v", err)
+	}
+	if got, err := fs.Get("z"); err != nil || string(got) != "x" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if n := fs.Calls(storetest.OpPut, "z"); n != 3 {
+		t.Fatalf("Put calls = %d, want 3", n)
+	}
+}
+
+func TestWildcardAndExactRules(t *testing.T) {
+	boom := errors.New("boom")
+	worse := errors.New("worse")
+	fs := storetest.New(store.NewMem())
+	fs.FailOp(storetest.OpGet, "", boom, storetest.Forever)
+	fs.FailOp(storetest.OpGet, "b", worse, storetest.Forever)
+	if _, err := fs.Get("a"); !errors.Is(err, boom) {
+		t.Fatalf("wildcard rule: %v", err)
+	}
+	if _, err := fs.Get("b"); !errors.Is(err, worse) {
+		t.Fatalf("exact rule must win: %v", err)
+	}
+	fs.Clear()
+	if _, err := fs.Get("a"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("after Clear: %v, want inner store's ErrNotFound", err)
+	}
+	// Accounting survives Clear.
+	if n := fs.Calls(storetest.OpGet, ""); n != 3 {
+		t.Fatalf("total Get calls = %d, want 3", n)
+	}
+}
+
+func TestTearGetTruncates(t *testing.T) {
+	fs := storetest.New(store.NewMem())
+	if err := fs.Put("z", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	fs.TearGet("z", 4, 1)
+	got, err := fs.Get("z")
+	if err != nil || string(got) != "0123" {
+		t.Fatalf("torn Get = %q, %v", got, err)
+	}
+	got, err = fs.Get("z")
+	if err != nil || string(got) != "0123456789" {
+		t.Fatalf("healed Get = %q, %v", got, err)
+	}
+}
+
+func TestDelayOpSleeps(t *testing.T) {
+	fs := storetest.New(store.NewMem())
+	_ = fs.Put("z", []byte("x"))
+	fs.DelayOp(storetest.OpGet, "z", 30*time.Millisecond, 1)
+	start := time.Now()
+	if _, err := fs.Get("z"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delayed Get returned after %v", d)
+	}
+}
+
+func TestListFaults(t *testing.T) {
+	boom := errors.New("boom")
+	fs := storetest.New(store.NewMem())
+	_ = fs.Put("z", []byte("x"))
+	fs.FailOp(storetest.OpList, "", boom, 1)
+	if _, err := fs.List(); !errors.Is(err, boom) {
+		t.Fatalf("List: %v, want injected error", err)
+	}
+	zones, err := fs.List()
+	if err != nil || len(zones) != 1 || zones[0] != "z" {
+		t.Fatalf("List = %v, %v", zones, err)
+	}
+}

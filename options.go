@@ -199,6 +199,31 @@ func WithZoneFactory(f ZoneFactory) ServiceOption {
 	return func(c *serve.Config) { c.ZoneFactory = f }
 }
 
+// WithMaxHotZones caps how many zones may hold a resident Model at
+// once. Over the cap, the least-recently-touched zone is checkpointed
+// into the snapshot store (WithSnapshotStore, defaulting to an
+// in-memory store) and its Model dropped; the zone stays registered and
+// rehydrates transparently on its next report, locate, track, or
+// snapshot request — a service can therefore register far more zones
+// than fit in memory. n <= 0 selects the minimum cache of one hot zone;
+// omit the option entirely for the default of no cap.
+func WithMaxHotZones(n int) ServiceOption {
+	if n <= 0 {
+		n = -1
+	}
+	return func(c *serve.Config) { c.MaxHotZones = n }
+}
+
+// WithSnapshotStore sets the snapshot store behind the residency tier:
+// where evicted zones' Models are checkpointed to and rehydrated from
+// (see WithMaxHotZones), and the target of Service.EvictZone. Use
+// NewDirStore to share the checkpointer's state directory, so evicted
+// state and crash-recovery state are one artifact; NewMemStore bounds
+// memory without touching disk.
+func WithSnapshotStore(st SnapshotStore) ServiceOption {
+	return func(c *serve.Config) { c.Store = st }
+}
+
 // NewService builds an empty multi-zone service with functional
 // options; register zones with Service.AddZone (before or after Start):
 //

@@ -64,6 +64,7 @@ import (
 	"tafloc/internal/rf"
 	"tafloc/internal/rti"
 	"tafloc/internal/serve"
+	"tafloc/internal/store"
 	"tafloc/internal/testbed"
 	"tafloc/internal/track"
 	"tafloc/internal/wire"
@@ -394,7 +395,24 @@ type (
 	// ZoneTrackPoint is one sample of a zone's smoothed trajectory, as
 	// served by Service.Track and GET /v2/zones/{id}/track.
 	ZoneTrackPoint = serve.TrackPoint
+	// SnapshotStore is the pluggable snapshot store behind tiered zone
+	// storage: Checkpoint/Restore targets and the backing store of the
+	// hot-zone cap (WithMaxHotZones). Implement it to put zone
+	// snapshots anywhere that can round-trip opaque bytes under a zone
+	// ID; NewDirStore and NewMemStore are the built-in backends.
+	SnapshotStore = store.Store
 )
+
+// NewDirStore opens the local-directory snapshot store rooted at dir:
+// one atomically-replaced "<escaped-id>.snap" file per zone, the same
+// layout Service.Checkpoint writes — an existing state directory is
+// usable as a residency store as-is.
+func NewDirStore(dir string) SnapshotStore { return store.NewDir(dir) }
+
+// NewMemStore returns an in-memory snapshot store: eviction with it
+// bounds resident Models without touching disk (the snapshots do not
+// survive the process).
+func NewMemStore() SnapshotStore { return store.NewMem() }
 
 // NewServiceFromConfig builds a multi-zone service from a positional
 // configuration struct. It panics on an unknown Config.Detector name —

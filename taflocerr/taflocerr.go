@@ -60,6 +60,12 @@ const (
 	// validation — truncated payload, CRC mismatch, or inconsistent
 	// decoded state.
 	CodeSnapshotCorrupt Code = "snapshot_corrupt"
+	// CodeRehydrateFailed: a zone whose Model was evicted to the
+	// snapshot store could not be rehydrated — the store read failed or
+	// the stored snapshot no longer validates. The zone stays
+	// registered; the operation that needed its Model retries the
+	// rehydrate on the next call.
+	CodeRehydrateFailed Code = "rehydrate_failed"
 	// CodeInternal: unclassified server-side failure.
 	CodeInternal Code = "internal"
 )
@@ -126,6 +132,7 @@ var (
 	ErrCancelled        = New(CodeCancelled, "tafloc: operation cancelled")
 	ErrSnapshotVersion  = New(CodeSnapshotVersion, "tafloc: unsupported snapshot version")
 	ErrSnapshotCorrupt  = New(CodeSnapshotCorrupt, "tafloc: corrupt snapshot")
+	ErrRehydrateFailed  = New(CodeRehydrateFailed, "tafloc: zone rehydrate failed")
 	ErrInternal         = New(CodeInternal, "tafloc: internal error")
 )
 
@@ -143,6 +150,7 @@ var sentinels = map[Code]*Error{
 	CodeCancelled:        ErrCancelled,
 	CodeSnapshotVersion:  ErrSnapshotVersion,
 	CodeSnapshotCorrupt:  ErrSnapshotCorrupt,
+	CodeRehydrateFailed:  ErrRehydrateFailed,
 	CodeInternal:         ErrInternal,
 }
 
@@ -192,6 +200,10 @@ func HTTPStatus(code Code) int {
 		return 400
 	case CodeSnapshotCorrupt:
 		return 422
+	case CodeRehydrateFailed:
+		// The zone exists and will retry on the next request; the store
+		// behind it is what is unavailable.
+		return 503
 	default:
 		return 500
 	}

@@ -85,6 +85,7 @@ func TestHTTPStatus(t *testing.T) {
 		CodeUnsupported:      501,
 		CodeSnapshotVersion:  400,
 		CodeSnapshotCorrupt:  422,
+		CodeRehydrateFailed:  503,
 		CodeInternal:         500,
 	}
 	for code, want := range cases {
