@@ -147,7 +147,8 @@ func (st *ReportStream) Sync(ctx context.Context) error {
 			return st.err
 		}
 		if st.done {
-			return fmt.Errorf("client: report stream %s ended with %d of %d acks",
+			return taflocerr.Errorf(taflocerr.CodeInternal,
+				"client: report stream %s ended with %d of %d acks",
 				st.zone, st.stats.Acked, st.stats.Lines)
 		}
 		if ctx.Err() != nil {
@@ -187,7 +188,8 @@ func (st *ReportStream) Close() (StreamSummary, error) {
 	}
 	err := st.err
 	if err == nil {
-		err = fmt.Errorf("client: report stream %s ended without a trailer", st.zone)
+		err = taflocerr.Errorf(taflocerr.CodeInternal,
+			"client: report stream %s ended without a trailer", st.zone)
 	}
 	return StreamSummary{}, err
 }

@@ -129,58 +129,147 @@ func (f *zoneFactory) deployment(id string) (*tafloc.Deployment, bool) {
 	return dep, ok
 }
 
-func main() {
-	log.SetFlags(0)
-	addr := flag.String("addr", ":8750", "HTTP listen address")
-	zones := flag.Int("zones", 4, "number of monitored zones")
-	days := flag.Float64("days", 0, "simulated environment age in days")
-	interval := flag.Duration("interval", 100*time.Millisecond, "simulated report interval per zone")
-	window := flag.Int("window", 8, "per-link live window length")
-	threshold := flag.Float64("threshold", 0.25, "detection threshold in dB")
-	matcher := flag.String("matcher", "wknn",
+// config is the parsed command line plus which flags were set
+// explicitly (so combination warnings fire only on deliberate choices,
+// not defaults).
+type config struct {
+	addr          string
+	zones         int
+	days          float64
+	interval      time.Duration
+	window        int
+	threshold     float64
+	matcher       string
+	detector      string
+	sim           bool
+	locateWorkers int
+	stateDir      string
+	checkpoint    time.Duration
+	maxHotZones   int
+
+	set map[string]bool
+}
+
+func parseFlags(args []string) (*config, error) {
+	cfg := &config{set: make(map[string]bool)}
+	fs := flag.NewFlagSet("tafloc-serve", flag.ExitOnError)
+	fs.StringVar(&cfg.addr, "addr", ":8750", "HTTP listen address")
+	fs.IntVar(&cfg.zones, "zones", 4, "number of monitored zones")
+	fs.Float64Var(&cfg.days, "days", 0, "simulated environment age in days")
+	fs.DurationVar(&cfg.interval, "interval", 100*time.Millisecond, "simulated report interval per zone")
+	fs.IntVar(&cfg.window, "window", 8, "per-link live window length")
+	fs.Float64Var(&cfg.threshold, "threshold", 0.25, "detection threshold in dB")
+	fs.StringVar(&cfg.matcher, "matcher", "wknn",
 		fmt.Sprintf("localization matcher %v", tafloc.MatcherNames()))
-	detector := flag.String("detector", "mad",
+	fs.StringVar(&cfg.detector, "detector", "mad",
 		fmt.Sprintf("presence detector %v", tafloc.DetectorNames()))
-	sim := flag.Bool("sim", true, "drive simulated targets through every zone via the client SDK")
-	locateWorkers := flag.Int("locate-workers", 0, "shared locate-executor pool size; zones are goroutine-free state machines scheduled onto it (0 = GOMAXPROCS, negative = single worker)")
-	stateDir := flag.String("state-dir", "", "directory for deployment snapshots: checkpoint zones there and warm-restore them on boot")
-	checkpoint := flag.Duration("checkpoint", 30*time.Second, "checkpoint interval when -state-dir is set")
-	maxHotZones := flag.Int("max-hot-zones", 0, "cap on zones holding a resident model; over the cap the least-recently-used zone is checkpointed and dropped, rehydrating transparently on its next request (0 = no cap)")
-	flag.Parse()
-	if *zones < 1 {
-		log.Fatalf("need at least one zone, got %d", *zones)
+	fs.BoolVar(&cfg.sim, "sim", true, "drive simulated targets through every zone via the client SDK")
+	fs.IntVar(&cfg.locateWorkers, "locate-workers", 0, "shared locate-executor pool size; zones are goroutine-free state machines scheduled onto it (0 = GOMAXPROCS, negative = single worker)")
+	fs.StringVar(&cfg.stateDir, "state-dir", "", "directory for deployment snapshots: checkpoint zones there and warm-restore them on boot")
+	fs.DurationVar(&cfg.checkpoint, "checkpoint", 30*time.Second, "checkpoint interval when -state-dir is set")
+	fs.IntVar(&cfg.maxHotZones, "max-hot-zones", 0, "cap on zones holding a resident model; over the cap the least-recently-used zone is checkpointed and dropped, rehydrating transparently on its next request (0 = no cap)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	fs.Visit(func(f *flag.Flag) { cfg.set[f.Name] = true })
+	return cfg, nil
+}
+
+// validate rejects unusable flag values and combinations with
+// taxonomy-coded errors, and warns about legal-but-surprising
+// combinations (flags that will be silently ignored, or non-durable
+// defaults chosen implicitly).
+func (cfg *config) validate() error {
+	if cfg.zones < 1 {
+		return taflocerr.Errorf(taflocerr.CodeBadRequest,
+			"-zones: need at least one zone, got %d", cfg.zones)
+	}
+	if cfg.window < 1 {
+		return taflocerr.Errorf(taflocerr.CodeBadRequest,
+			"-window: need a positive live window length, got %d", cfg.window)
+	}
+	if cfg.interval <= 0 {
+		return taflocerr.Errorf(taflocerr.CodeBadRequest,
+			"-interval: need a positive report interval, got %v", cfg.interval)
 	}
 	// Validate the strategy flags up front so a CLI typo is a clean
 	// usage failure instead of a construction error.
-	if !contains(tafloc.DetectorNames(), *detector) {
-		log.Fatalf("unknown detector %q; registered: %v", *detector, tafloc.DetectorNames())
+	if !contains(tafloc.DetectorNames(), cfg.detector) {
+		return taflocerr.Errorf(taflocerr.CodeUnsupported,
+			"-detector: unknown detector %q; registered: %v", cfg.detector, tafloc.DetectorNames())
 	}
-	if !contains(tafloc.MatcherNames(), *matcher) {
-		log.Fatalf("unknown matcher %q; registered: %v", *matcher, tafloc.MatcherNames())
+	if !contains(tafloc.MatcherNames(), cfg.matcher) {
+		return taflocerr.Errorf(taflocerr.CodeUnsupported,
+			"-matcher: unknown matcher %q; registered: %v", cfg.matcher, tafloc.MatcherNames())
+	}
+	if cfg.maxHotZones < 0 {
+		return taflocerr.Errorf(taflocerr.CodeBadRequest,
+			"-max-hot-zones: need a non-negative cap, got %d", cfg.maxHotZones)
+	}
+	if cfg.stateDir != "" && cfg.checkpoint <= 0 {
+		return taflocerr.Errorf(taflocerr.CodeBadRequest,
+			"-checkpoint: need a positive interval with -state-dir, got %v", cfg.checkpoint)
+	}
+	if cfg.maxHotZones > 0 && cfg.stateDir == "" {
+		log.Printf("warning: -max-hot-zones without -state-dir: evicted zones snapshot to the in-process memory store, so eviction saves model RAM but cold state does not survive a restart; set -state-dir for durable tiering")
+	}
+	if cfg.set["checkpoint"] && cfg.stateDir == "" {
+		log.Printf("warning: -checkpoint is ignored without -state-dir; no periodic checkpoints will run")
+	}
+	if cfg.set["interval"] && !cfg.sim {
+		log.Printf("warning: -interval is ignored with -sim=false; it only paces the built-in simulator")
+	}
+	return nil
+}
+
+// storeBackend names the effective snapshot store the tiering layer
+// will evict into, for the startup banner.
+func (cfg *config) storeBackend() string {
+	if cfg.stateDir != "" {
+		return "dir store " + cfg.stateDir
+	}
+	return "in-process memory store (non-durable)"
+}
+
+func main() {
+	log.SetFlags(0)
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		// ExitOnError: Parse only returns on -h/-help after printing usage.
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
+		log.Fatalf("tafloc-serve: %v [code=%s]", err, taflocerr.CodeOf(err))
+	}
+}
+
+func run(cfg *config) error {
+	if err := cfg.validate(); err != nil {
+		return err
 	}
 
-	factory := &zoneFactory{matcher: *matcher, days: *days, deps: make(map[string]*tafloc.Deployment)}
+	factory := &zoneFactory{matcher: cfg.matcher, days: cfg.days, deps: make(map[string]*tafloc.Deployment)}
 	opts := []tafloc.ServiceOption{
-		tafloc.WithWindow(*window),
-		tafloc.WithDetectThreshold(*threshold),
-		tafloc.WithDetector(*detector),
+		tafloc.WithWindow(cfg.window),
+		tafloc.WithDetectThreshold(cfg.threshold),
+		tafloc.WithDetector(cfg.detector),
 		tafloc.WithZoneFactory(factory.build),
 	}
-	if *locateWorkers != 0 {
-		opts = append(opts, tafloc.WithLocateWorkers(*locateWorkers))
+	if cfg.locateWorkers != 0 {
+		opts = append(opts, tafloc.WithLocateWorkers(cfg.locateWorkers))
 	}
-	if *maxHotZones > 0 {
-		opts = append(opts, tafloc.WithMaxHotZones(*maxHotZones))
-		if *stateDir != "" {
+	if cfg.maxHotZones > 0 {
+		opts = append(opts, tafloc.WithMaxHotZones(cfg.maxHotZones))
+		if cfg.stateDir != "" {
 			// Evicted zones checkpoint into the same directory the
 			// periodic checkpointer uses, so cold state doubles as
 			// crash-recovery state.
-			opts = append(opts, tafloc.WithSnapshotStore(tafloc.NewDirStore(*stateDir)))
+			opts = append(opts, tafloc.WithSnapshotStore(tafloc.NewDirStore(cfg.stateDir)))
 		}
 	}
 	svc, err := tafloc.NewService(opts...)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	factory.svc = svc
 
@@ -191,8 +280,8 @@ func main() {
 	// without recalibration — the calibrated radio map, mask, references,
 	// and per-zone serve config come straight off disk.
 	restored := make(map[string]bool)
-	if *stateDir != "" {
-		ids, err := svc.RestoreDir(*stateDir)
+	if cfg.stateDir != "" {
+		ids, err := svc.RestoreDir(cfg.stateDir)
 		if err != nil {
 			// Damaged snapshots are reported and skipped; the healthy
 			// zones (and freshly surveyed ones) still serve.
@@ -200,24 +289,24 @@ func main() {
 		}
 		for _, id := range ids {
 			restored[id] = true
-			fmt.Printf("%s: warm-restored from %s\n", id, *stateDir)
+			fmt.Printf("%s: warm-restored from %s\n", id, cfg.stateDir)
 		}
 	}
 
 	// One independent deployment and system per zone. Day-0 surveys are
 	// the expensive part of startup; each zone pays it once — unless a
 	// snapshot already covers it.
-	for i := 0; i < *zones; i++ {
+	for i := 0; i < cfg.zones; i++ {
 		id := fmt.Sprintf("zone-%d", i)
 		if restored[id] {
 			continue
 		}
 		sys, err := factory.build(ctx, id, tafloc.ZoneSpec{})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := svc.AddZone(id, sys); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		dep, _ := factory.deployment(id)
 		fmt.Printf("%s: %d links over %d cells, %d reference locations\n",
@@ -225,29 +314,26 @@ func main() {
 	}
 
 	if err := svc.Start(ctx); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if *stateDir != "" {
+	if cfg.stateDir != "" {
 		// Interval checkpoints plus a final one when ctx is cancelled
 		// (SIGINT/SIGTERM), so a clean stop persists fully current state.
-		if err := svc.StartCheckpointer(ctx, *stateDir, *checkpoint, func(err error) {
+		if err := svc.StartCheckpointer(ctx, cfg.stateDir, cfg.checkpoint, func(err error) {
 			log.Printf("checkpoint: %v", err)
 		}); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("checkpointing zones to %s every %v\n", *stateDir, *checkpoint)
+		fmt.Printf("checkpointing zones to %s every %v\n", cfg.stateDir, cfg.checkpoint)
 	}
-	if *maxHotZones > 0 {
-		where := "memory"
-		if *stateDir != "" {
-			where = *stateDir
-		}
-		fmt.Printf("hot-zone cap: %d resident models, evicting LRU zones to %s\n", *maxHotZones, where)
+	if cfg.maxHotZones > 0 {
+		fmt.Printf("hot-zone cap: %d resident models, evicting LRU zones to %s\n",
+			cfg.maxHotZones, cfg.storeBackend())
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
-		log.Fatal(err)
+		return taflocerr.Errorf(taflocerr.CodeBadRequest, "-addr: listen on %s: %w", cfg.addr, err)
 	}
 	server := &http.Server{Handler: svc.Handler()}
 	go func() {
@@ -257,7 +343,7 @@ func main() {
 		_ = server.Shutdown(shutCtx)
 	}()
 
-	if *sim {
+	if cfg.sim {
 		baseURL := dialableURL(ln.Addr())
 		go func() {
 			cli, err := client.Dial(ctx, baseURL)
@@ -265,7 +351,7 @@ func main() {
 				log.Printf("simulator: %v", err)
 				return
 			}
-			for i := 0; i < *zones; i++ {
+			for i := 0; i < cfg.zones; i++ {
 				id := fmt.Sprintf("zone-%d", i)
 				dep, ok := factory.deployment(id)
 				if !ok {
@@ -275,20 +361,21 @@ func main() {
 					log.Printf("simulator: %s was restored from a snapshot; not simulating", id)
 					continue
 				}
-				go simulateZone(ctx, cli, dep, id, *days, *interval)
+				go simulateZone(ctx, cli, dep, id, cfg.days, cfg.interval)
 			}
 		}()
 		fmt.Printf("simulating one walking target per zone every %v (reports via %s)\n",
-			*interval, baseURL)
+			cfg.interval, baseURL)
 	}
 
 	fmt.Printf("serving %d zones on %s (matcher %s, detector %s, parallel workers: %d)\n",
-		*zones, ln.Addr(), *matcher, *detector, tafloc.Workers())
+		cfg.zones, ln.Addr(), cfg.matcher, cfg.detector, tafloc.Workers())
 	if err := server.Serve(ln); err != nil && err != http.ErrServerClosed {
-		log.Fatal(err)
+		return err
 	}
 	svc.Stop()
 	svc.Wait()
+	return nil
 }
 
 func contains(names []string, want string) bool {

@@ -1,0 +1,21 @@
+// Command taflocvet is the project-invariant vet tool: a go/analysis
+// unitchecker bundling the analyzers in internal/analysis. Run it
+// through the standard vet driver so it sees every package in the
+// module with full type information:
+//
+//	go build -o bin/taflocvet ./cmd/taflocvet
+//	go vet -vettool=$(pwd)/bin/taflocvet ./...
+//
+// CI runs exactly that as a hard gate (see .github/workflows and
+// docs/INVARIANTS.md for the contract each analyzer enforces).
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"tafloc/internal/analysis"
+)
+
+func main() {
+	unitchecker.Main(analysis.Analyzers()...)
+}

@@ -1,3 +1,7 @@
 module tafloc
 
-go 1.21
+go 1.22
+
+require golang.org/x/tools v0.28.1
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

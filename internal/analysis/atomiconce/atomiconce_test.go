@@ -1,0 +1,14 @@
+package atomiconce
+
+import (
+	"testing"
+
+	"tafloc/internal/analysis/vettest"
+)
+
+func TestAtomiconce(t *testing.T) {
+	old := accessors
+	accessors = "(*a.Sys).Model"
+	t.Cleanup(func() { accessors = old })
+	vettest.Run(t, "testdata", Analyzer, "a")
+}

@@ -1,0 +1,138 @@
+// Package ctxflow keeps cancellation plumbed end to end. The engine's
+// blocking APIs (locate dispatch, snapshot loads, client streams) are
+// cancellable by contract; a context accepted in the wrong position or
+// silently replaced with context.Background() breaks that contract one
+// call frame at a time.
+//
+// Two rules:
+//
+//  1. A function that takes a context.Context must take it as the first
+//     parameter (after the receiver), per the standard convention the
+//     rest of the repo's call sites assume.
+//  2. A function that has a context in scope must not detach from it:
+//     calling context.Background()/context.TODO() there drops the
+//     caller's deadline and cancellation on the floor, and
+//     http.NewRequest builds a request that ignores it (use
+//     NewRequestWithContext). A deliberate detach — e.g. a background
+//     flush that must outlive the triggering request — is annotated
+//     //tafloc:ctx-detach with a justification.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"tafloc/internal/analysis/tags"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "ctxflow",
+	Doc:      "context.Context must be the first parameter and must not be dropped via Background/TODO or context-less request constructors",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	suppressed := make(map[*ast.File]map[int]bool)
+	for _, f := range pass.Files {
+		suppressed[f] = tags.SuppressedLines(pass.Fset, f, tags.CtxDetach)
+	}
+	fileOf := func(pos token.Pos) *ast.File {
+		for _, f := range pass.Files {
+			if f.FileStart <= pos && pos < f.FileEnd {
+				return f
+			}
+		}
+		return nil
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || tags.TestFile(pass.Fset, fd.Pos()) {
+			return
+		}
+		ctxAt := contextParamIndex(pass.TypesInfo, fd.Type)
+		if ctxAt > 0 {
+			pass.Reportf(fd.Type.Params.List[0].Pos(),
+				"%s takes context.Context as parameter %d: the context goes first, so call sites read uniformly and wrappers can forward it mechanically",
+				fd.Name.Name, ctxAt+1)
+		}
+		if ctxAt >= 0 {
+			checkDetach(pass, fd, suppressed[fileOf(fd.Pos())])
+		}
+	})
+	return nil, nil
+}
+
+// contextParamIndex returns the flat index of the first context.Context
+// parameter, or -1 when the function takes none.
+func contextParamIndex(info *types.Info, ft *ast.FuncType) int {
+	if ft.Params == nil {
+		return -1
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContext(info.TypeOf(field.Type)) {
+			return idx
+		}
+		idx += n
+	}
+	return -1
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkDetach flags context-discarding calls inside a function that has
+// a caller context in scope.
+func checkDetach(pass *analysis.Pass, fd *ast.FuncDecl, suppressed map[int]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A goroutine body may legitimately own a different lifetime;
+			// rule 2 applies to the frame that received the context.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if suppressed[pass.Fset.Position(call.Pos()).Line] {
+			return true
+		}
+		switch fn.Pkg().Path() + "." + fn.Name() {
+		case "context.Background", "context.TODO":
+			pass.Reportf(call.Pos(),
+				"context.%s called in %s, which already has a context parameter: this drops the caller's deadline and cancellation; pass the parameter through, or annotate //tafloc:ctx-detach with why this work must outlive the caller",
+				fn.Name(), fd.Name.Name)
+		case "net/http.NewRequest":
+			pass.Reportf(call.Pos(),
+				"http.NewRequest in %s ignores the context in scope: use http.NewRequestWithContext so the request is cancellable",
+				fd.Name.Name)
+		}
+		return true
+	})
+}

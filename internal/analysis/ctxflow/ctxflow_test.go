@@ -1,0 +1,11 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"tafloc/internal/analysis/vettest"
+)
+
+func TestCtxflow(t *testing.T) {
+	vettest.Run(t, "testdata", Analyzer, "a")
+}

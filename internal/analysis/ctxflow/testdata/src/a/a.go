@@ -1,0 +1,50 @@
+// Package a is the ctxflow fixture: context parameter position and
+// context-dropping calls.
+//
+// Regression note: detach mirrors the shutdown paths in serve, where a
+// background lifetime is deliberate and carries //tafloc:ctx-detach.
+package a
+
+import (
+	"context"
+	"net/http"
+)
+
+func First(ctx context.Context, name string) { _ = ctx }
+
+func Second(name string, ctx context.Context) { // want `Second takes context\.Context as parameter 2`
+	_ = ctx
+}
+
+func Drops(ctx context.Context) {
+	use(context.Background()) // want `context\.Background called in Drops`
+}
+
+func Todos(ctx context.Context) {
+	use(context.TODO()) // want `context\.TODO called in Todos`
+}
+
+func Request(ctx context.Context) {
+	_, _ = http.NewRequest("GET", "http://example.invalid/", nil) // want `http\.NewRequest in Request ignores the context`
+}
+
+func RequestCtx(ctx context.Context) {
+	_, _ = http.NewRequestWithContext(ctx, "GET", "http://example.invalid/", nil) // fine
+}
+
+func detach(ctx context.Context) {
+	use(context.Background()) //tafloc:ctx-detach fixture: shutdown work outlives the caller
+}
+
+// NoCtx has no context in scope, so Background is the right call.
+func NoCtx() {
+	use(context.Background())
+}
+
+func goroutine(ctx context.Context) {
+	go func() {
+		use(context.Background()) // own lifetime: rule 2 stops at the FuncLit
+	}()
+}
+
+func use(ctx context.Context) { _ = ctx }

@@ -1,0 +1,281 @@
+// Package errcode enforces the taflocerr taxonomy at the service
+// boundary: code in the packages that face callers (internal/serve,
+// client, and the root package) must not originate errors without a
+// taxonomy code, and HTTP handlers must derive response statuses from
+// the taxonomy mapping instead of writing literal error codes.
+//
+// Two rules:
+//
+//  1. Origination: a returned errors.New(...), or a returned fmt.Errorf
+//     with no %w operand at all, creates an error no caller can branch
+//     on with errors.Is against the taflocerr sentinels. Use
+//     taflocerr.New/Errorf (or wrap a coded sentinel with %w).
+//     Wrapping an existing error with %w is propagation and is always
+//     allowed — the code travels in the cause chain.
+//  2. HTTP statuses: http.Error, and the package's JSON error writers
+//     (httpError, writeJSON) or ResponseWriter.WriteHeader with a
+//     constant status >= 400, bypass taflocerr.HTTPStatus and will
+//     drift from the taxonomy. The frozen /v1 handlers (responses
+//     pinned byte-identical) are exempted with //tafloc:legacy-http.
+//
+// One-off internal sentinels that never cross the API are suppressed
+// line-by-line with //tafloc:uncoded plus a justification.
+package errcode
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"tafloc/internal/analysis/tags"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "errcode",
+	Doc:      "boundary packages must return taflocerr-coded errors and map HTTP statuses through the taxonomy",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var (
+	// packages scopes the analyzer to the boundary packages.
+	packages = "tafloc,tafloc/internal/serve,tafloc/client"
+	// writers names the in-package status-writing helpers whose literal
+	// >= 400 status arguments are flagged.
+	writers = "httpError,writeJSON"
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&packages, "packages", packages,
+		"comma-separated package paths the taxonomy contract applies to")
+	Analyzer.Flags.StringVar(&writers, "writers", writers,
+		"comma-separated names of status-writing helpers checked for literal error codes")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	scoped := false
+	for _, p := range strings.Split(packages, ",") {
+		if strings.TrimSpace(p) == pass.Pkg.Path() {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return nil, nil
+	}
+	writerSet := make(map[string]bool)
+	for _, w := range strings.Split(writers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			writerSet[w] = true
+		}
+	}
+
+	suppressed := make(map[*ast.File]map[int]bool)
+	for _, f := range pass.Files {
+		suppressed[f] = tags.SuppressedLines(pass.Fset, f, tags.Uncoded)
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || tags.TestFile(pass.Fset, fd.Pos()) {
+			return
+		}
+		var sup map[int]bool
+		for f, lines := range suppressed {
+			if f.FileStart <= fd.Pos() && fd.Pos() < f.FileEnd {
+				sup = lines
+				break
+			}
+		}
+		checkOrigination(pass, fd, sup)
+		if !tags.FuncMarked(fd, tags.LegacyHTTP) {
+			checkHTTPStatus(pass, fd, writerSet, sup)
+		}
+	})
+	return nil, nil
+}
+
+// checkOrigination flags uncoded error originations that reach a
+// return statement: either directly returned, or assigned to a
+// variable that some return statement hands back.
+func checkOrigination(pass *analysis.Pass, fd *ast.FuncDecl, suppressed map[int]bool) {
+	// Pass 1: variables that appear in return statements.
+	returned := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					returned[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	report := func(call *ast.CallExpr, how string) {
+		if suppressed[pass.Fset.Position(call.Pos()).Line] {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%s escapes %s without a taflocerr code: callers cannot branch with errors.Is against the taxonomy; use taflocerr.New/Errorf or wrap a coded sentinel with %%w (or annotate //tafloc:uncoded with a justification)",
+			how, fd.Name.Name)
+	}
+
+	// Pass 2: flag uncoded originations in returns and in assignments
+	// to returned variables.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && uncodedOrigin(pass.TypesInfo, call) {
+					report(call, "returned "+callName(pass.TypesInfo, call))
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !uncodedOrigin(pass.TypesInfo, call) || len(n.Lhs) != len(n.Rhs) {
+					continue
+				}
+				id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Defs[id]
+				}
+				if obj != nil && returned[obj] {
+					report(call, callName(pass.TypesInfo, call)+" assigned to returned variable "+id.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// uncodedOrigin reports whether call originates an error with no
+// taxonomy code: errors.New(...), or fmt.Errorf whose format string
+// contains no %w verb.
+func uncodedOrigin(info *types.Info, call *ast.CallExpr) bool {
+	switch callName(info, call) {
+	case "errors.New":
+		return true
+	case "fmt.Errorf":
+		return !formatWraps(info, call)
+	}
+	return false
+}
+
+// formatWraps reports whether the fmt.Errorf call's constant format
+// string contains at least one %w verb. A non-constant format cannot
+// be checked and is given the benefit of the doubt.
+func formatWraps(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return true
+	}
+	format := constant.StringVal(tv.Value)
+	for i := 0; i+1 < len(format); i++ {
+		if format[i] == '%' {
+			if format[i+1] == '%' {
+				i++
+				continue
+			}
+			// Scan past flags/width to the verb.
+			j := i + 1
+			for j < len(format) && strings.ContainsRune("+-# 0123456789.*[]", rune(format[j])) {
+				j++
+			}
+			if j < len(format) && format[j] == 'w' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callName renders the callee as pkgname.Func for the packages the
+// origination rule cares about; empty otherwise.
+func callName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "errors", "fmt":
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return ""
+}
+
+// checkHTTPStatus flags taxonomy bypasses on the HTTP surface.
+func checkHTTPStatus(pass *analysis.Pass, fd *ast.FuncDecl, writerSet map[string]bool, suppressed map[int]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if suppressed[pass.Fset.Position(call.Pos()).Line] {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+				if fn.FullName() == "net/http.Error" {
+					pass.Reportf(call.Pos(),
+						"http.Error bypasses the taflocerr taxonomy: write the typed error body via the taxonomy writer (errorV2) so the status comes from taflocerr.HTTPStatus")
+					return true
+				}
+			}
+			if fun.Sel.Name == "WriteHeader" {
+				flagLiteralStatus(pass, fd, call, "WriteHeader", suppressed)
+			}
+		case *ast.Ident:
+			if writerSet[fun.Name] {
+				flagLiteralStatus(pass, fd, call, fun.Name, suppressed)
+			}
+		}
+		return true
+	})
+}
+
+// flagLiteralStatus reports constant status arguments >= 400: an error
+// status hard-coded at the call site instead of derived from the error
+// through taflocerr.HTTPStatus.
+func flagLiteralStatus(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, what string, suppressed map[int]bool) {
+	for _, arg := range call.Args {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			continue
+		}
+		code, ok := constant.Int64Val(tv.Value)
+		if !ok || code < 400 || code > 599 {
+			continue
+		}
+		if basic, isBasic := tv.Type.(*types.Basic); !isBasic || basic.Kind() != types.Int && basic.Kind() != types.UntypedInt {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"literal error status %s passed to %s in %s: derive the status from the error via the taxonomy (errorV2 / taflocerr.HTTPStatus) so codes cannot drift from the wire contract; frozen /v1 handlers are exempted with //tafloc:legacy-http",
+			strconv.FormatInt(code, 10), what, fd.Name.Name)
+	}
+}

@@ -1,0 +1,14 @@
+package errcode
+
+import (
+	"testing"
+
+	"tafloc/internal/analysis/vettest"
+)
+
+func TestErrcode(t *testing.T) {
+	old := packages
+	packages = "a"
+	t.Cleanup(func() { packages = old })
+	vettest.Run(t, "testdata", Analyzer, "a")
+}

@@ -1,0 +1,72 @@
+// Package a is the errcode fixture: error originations that must carry
+// a taxonomy code, and HTTP writes that must derive statuses from it.
+// The test points the packages flag at this package.
+//
+// Regression notes:
+//   - returned/assigned mirror client.ReportStream.Sync and Close,
+//     which originated bare fmt.Errorf errors until taflocvet flagged
+//     them; both now return taflocerr.CodeInternal.
+//   - legacy mirrors the frozen /v1 handlers in internal/serve/http.go,
+//     exempted with //tafloc:legacy-http because their wire format is
+//     pinned.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+func returned() error {
+	return errors.New("boom") // want `returned errors\.New escapes returned without a taflocerr code`
+}
+
+func formatted(n int) error {
+	return fmt.Errorf("bad count %d", n) // want `returned fmt\.Errorf escapes formatted without a taflocerr code`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("while syncing: %w", err) // propagation: the code travels in the chain
+}
+
+func assigned() error {
+	err := errors.New("boom") // want `errors\.New assigned to returned variable err`
+	return err
+}
+
+func sentinel() error {
+	return errors.New("internal sentinel") //tafloc:uncoded fixture: never crosses the API
+}
+
+func notReturned() {
+	err := errors.New("only logged") // never escapes: fine
+	_ = err
+}
+
+func rawError(w http.ResponseWriter) {
+	http.Error(w, "nope", 400) // want `http\.Error bypasses the taflocerr taxonomy`
+}
+
+func header(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNotFound) // want `literal error status 404 passed to WriteHeader`
+}
+
+func helper(w http.ResponseWriter) {
+	httpError(w, http.StatusInternalServerError, "boom") // want `literal error status 500 passed to httpError`
+}
+
+func okStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNoContent) // success status: fine
+}
+
+// legacy is a frozen v1-style handler.
+//
+//tafloc:legacy-http fixture: pinned wire format
+func legacy(w http.ResponseWriter) {
+	httpError(w, http.StatusNotFound, "gone")
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.WriteHeader(code)
+	_, _ = w.Write([]byte(msg))
+}

@@ -1,0 +1,200 @@
+// Package noalloc rejects allocating constructs inside functions whose
+// doc comment carries //tafloc:noalloc — the machine-checked half of
+// the 0-alloc hot-path pin. The AllocsPerRun tests prove the property
+// holds for the inputs they run; this analyzer keeps the property
+// reviewable at vet time by rejecting the constructs that would break
+// it before any benchmark runs:
+//
+//   - make, new, append
+//   - slice/map/pointer composite literals
+//   - function literals that capture variables of the enclosing
+//     function (a static, capture-free literal compiles to a singleton
+//     and stays; this is why sortCands' comparator is legal)
+//   - go statements
+//   - calls into package fmt
+//   - non-constant string concatenation and string<->[]byte/[]rune
+//     conversions
+//
+// An amortized grow path (allocate only when the reused buffer is too
+// small) is allowed one construct at a time with //tafloc:alloc-ok and
+// a justification. The analyzer checks syntax only — allocations made
+// by callees and escapes decided by the optimizer are audited by
+// scripts/escapecheck against -gcflags=-m output.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"tafloc/internal/analysis/tags"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "noalloc",
+	Doc:      "functions marked //tafloc:noalloc must not contain allocating constructs",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	suppressed := make(map[*ast.File]map[int]bool)
+	for _, f := range pass.Files {
+		suppressed[f] = tags.SuppressedLines(pass.Fset, f, tags.AllocOK)
+	}
+	fileOf := func(pos token.Pos) *ast.File {
+		for _, f := range pass.Files {
+			if f.FileStart <= pos && pos < f.FileEnd {
+				return f
+			}
+		}
+		return nil
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || !tags.FuncMarked(fd, tags.NoAlloc) || tags.TestFile(pass.Fset, fd.Pos()) {
+			return
+		}
+		checkFunc(pass, fd, suppressed[fileOf(fd.Pos())])
+	})
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, suppressed map[int]bool) {
+	report := func(pos token.Pos, construct, fix string) {
+		if suppressed[pass.Fset.Position(pos).Line] {
+			return
+		}
+		pass.Reportf(pos, "%s in //tafloc:noalloc function %s: %s (or annotate the line //tafloc:alloc-ok with a justification)",
+			construct, fd.Name.Name, fix)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capt := captured(pass.TypesInfo, n); capt != "" {
+				report(n.Pos(), "closure capturing "+capt,
+					"a capturing func literal heap-allocates its environment; hoist the captured state into parameters or a method value on reused scratch")
+			}
+			// Do not descend: the literal runs in its own frame; if it
+			// must itself be 0-alloc it gets its own enclosing marker.
+			return false
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement",
+				"spawning a goroutine allocates its frame; hand the work to the shared executor pool instead")
+			return true
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				report(n.Pos(), "slice/map composite literal",
+					"build into a reused scratch buffer instead")
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal",
+						"the value escapes to the heap; reuse a scratch struct")
+				}
+			}
+			return true
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypesInfo.TypeOf(n)) {
+				if tv, ok := pass.TypesInfo.Types[n]; !ok || tv.Value == nil {
+					report(n.Pos(), "non-constant string concatenation",
+						"concatenation allocates the result; format into a reused []byte")
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			checkCall(pass, n, report)
+			return true
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, report func(token.Pos, string, string)) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[fun]; obj != nil {
+			if b, ok := obj.(*types.Builtin); ok {
+				switch b.Name() {
+				case "make":
+					report(call.Pos(), "make", "allocate once at construction time and reuse")
+				case "new":
+					report(call.Pos(), "new", "allocate once at construction time and reuse")
+				case "append":
+					report(call.Pos(), "append", "append reallocates when capacity runs out; write through a pre-sized scratch slice")
+				}
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			report(call.Pos(), "call into package fmt",
+				"fmt boxes every operand into interface{}; hot paths must not format")
+			return
+		}
+	}
+	// Conversion between string and []byte/[]rune copies the contents
+	// into a fresh allocation.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := pass.TypesInfo.TypeOf(call.Args[0])
+		if src != nil && (isString(dst) && isByteOrRuneSlice(src) || isByteOrRuneSlice(dst) && isString(src)) {
+			if tv, ok := pass.TypesInfo.Types[call]; !ok || tv.Value == nil {
+				report(call.Pos(), "string<->slice conversion",
+					"the conversion copies into a fresh allocation; keep one representation on the hot path")
+			}
+		}
+	}
+}
+
+// captured names one variable of an enclosing function that the literal
+// closes over, or "" when the literal is capture-free. Package-level
+// variables don't count: referencing them compiles to a static closure.
+func captured(info *types.Info, lit *ast.FuncLit) string {
+	var name string
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level
+		}
+		if v.Pos() < lit.Pos() || v.Pos() >= lit.End() {
+			name = v.Name()
+		}
+		return true
+	})
+	return name
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

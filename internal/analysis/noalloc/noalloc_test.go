@@ -1,0 +1,11 @@
+package noalloc
+
+import (
+	"testing"
+
+	"tafloc/internal/analysis/vettest"
+)
+
+func TestNoalloc(t *testing.T) {
+	vettest.Run(t, "testdata", Analyzer, "a")
+}

@@ -1,0 +1,14 @@
+package poolpair
+
+import (
+	"testing"
+
+	"tafloc/internal/analysis/vettest"
+)
+
+func TestPoolpair(t *testing.T) {
+	old := pairs
+	pairs = "a.Get=a.Put,a.GetOther=a.PutOther"
+	t.Cleanup(func() { pairs = old })
+	vettest.Run(t, "testdata", Analyzer, "a")
+}

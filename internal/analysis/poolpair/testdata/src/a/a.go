@@ -1,0 +1,58 @@
+// Package a is the poolpair fixture: a local Get/Put pool pair (the
+// test points the pairs flag at it) exercising the pairing, ordering,
+// and ownership-transfer rules.
+//
+// Regression notes:
+//   - transfer mirrors serve.prepareEstimate, which hands its pooled
+//     vector to the locate task chain and is annotated
+//     //tafloc:pool-ownership in production.
+//   - retained mirrors core.Scratch.floats, which keeps grown buffers
+//     across calls; same annotation.
+package a
+
+func Get() []float64       { return nil }
+func Put(p []float64)      { _ = p }
+func GetOther() []float64  { return nil }
+func PutOther(p []float64) { _ = p }
+func sink(p []float64)     { _ = p }
+func consume(p []float64)  { _ = p }
+
+func good() {
+	b := Get()
+	defer Put(b)
+	sink(b)
+}
+
+func leak() {
+	b := Get() // want `borrow from Get without a deferred Put on b`
+	sink(b)
+}
+
+func bare() {
+	sink(Get()) // want `pooled borrow is not assigned to a variable`
+}
+
+func moveToCaller() []float64 {
+	return Get() // ownership moves to the caller: fine
+}
+
+func wrongPool() {
+	b := Get()        // want `borrow from Get without a deferred Put on b`
+	defer PutOther(b) // want `deferred PutOther does not match the pool b was borrowed from`
+	sink(b)
+}
+
+func staleDefer() {
+	var b []float64
+	defer Put(b) // want `defer Put\(b\) runs before b is borrowed`
+	b = Get()
+	sink(b)
+}
+
+// transfer hands the pooled buffer to consume, which owns returning it.
+//
+//tafloc:pool-ownership fixture: ownership moves to consume
+func transfer() {
+	b := Get()
+	consume(b)
+}

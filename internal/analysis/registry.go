@@ -1,0 +1,31 @@
+// Package analysis assembles the taflocvet analyzer suite: the
+// project-specific go/analysis checkers that machine-check the repo's
+// RCU, pooling, error-taxonomy, 0-alloc, and context contracts.
+//
+// The suite is consumed two ways: cmd/taflocvet wraps it in a
+// unitchecker so `go vet -vettool` drives it across the module, and the
+// per-analyzer tests run each checker against testdata fixtures through
+// internal/analysis/vettest. docs/INVARIANTS.md is the human-facing
+// catalogue of what each analyzer pins and how to annotate exceptions.
+package analysis
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"tafloc/internal/analysis/atomiconce"
+	"tafloc/internal/analysis/ctxflow"
+	"tafloc/internal/analysis/errcode"
+	"tafloc/internal/analysis/noalloc"
+	"tafloc/internal/analysis/poolpair"
+)
+
+// Analyzers returns the full taflocvet suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomiconce.Analyzer,
+		ctxflow.Analyzer,
+		errcode.Analyzer,
+		noalloc.Analyzer,
+		poolpair.Analyzer,
+	}
+}

@@ -1,0 +1,120 @@
+// Package tags defines the //tafloc:... source annotations the
+// taflocvet analyzer suite understands, and shared helpers for reading
+// them. Annotations are machine-checked contracts: a function-level
+// marker asserts a property of the whole function (and the matching
+// analyzer enforces or exempts it), a line-level marker suppresses one
+// diagnostic on the construct it precedes or trails and must carry a
+// justification after the marker word.
+//
+// See docs/INVARIANTS.md for the catalogue of markers and when each is
+// acceptable.
+package tags
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Function-level markers (written in the function's doc comment).
+const (
+	// NoAlloc asserts the function body introduces no allocating
+	// constructs; enforced by the noalloc analyzer and audited by
+	// scripts/escapecheck.
+	NoAlloc = "tafloc:noalloc"
+	// PoolOwnership documents that the function intentionally
+	// transfers or retains pooled objects instead of defer-returning
+	// them; exempts the function from the poolpair pairing rule.
+	PoolOwnership = "tafloc:pool-ownership"
+	// LegacyHTTP marks a frozen /v1 handler whose literal status codes
+	// predate the taxonomy and are pinned byte-identical by fixture
+	// tests; exempts the function from the errcode HTTP rule.
+	LegacyHTTP = "tafloc:legacy-http"
+)
+
+// Line-level markers (suppress one diagnostic on the same or next line;
+// everything after the marker word is the required justification).
+const (
+	// Reload permits a deliberate second Load of an RCU pointer (for
+	// example a staleness re-check after a side effect).
+	Reload = "tafloc:reload"
+	// AllocOK permits one allocating construct inside a noalloc
+	// function (for example an amortized grow path).
+	AllocOK = "tafloc:alloc-ok"
+	// Uncoded permits one error origination without a taxonomy code
+	// (for example an internal sentinel that never crosses the API).
+	Uncoded = "tafloc:uncoded"
+	// CtxDetach permits a deliberate context.Background()/TODO() while
+	// a caller context is in scope (for example a shutdown context that
+	// must outlive the request that triggered it).
+	CtxDetach = "tafloc:ctx-detach"
+)
+
+// Field-level marker (written in the struct field's doc comment).
+const (
+	// AtomicField marks a field that must only be accessed through its
+	// atomic method set (Load/Store/Add/Swap/CompareAndSwap) or by
+	// passing its address to sync/atomic functions; enforced by the
+	// atomiconce analyzer.
+	AtomicField = "tafloc:atomic"
+)
+
+// Marked reports whether the comment group contains the marker: a
+// comment line whose text (after "//") starts with the marker word,
+// optionally followed by whitespace and a justification.
+func Marked(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if hasMarker(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncMarked reports whether the function's doc comment carries the
+// marker.
+func FuncMarked(fd *ast.FuncDecl, marker string) bool {
+	return Marked(fd.Doc, marker)
+}
+
+func hasMarker(comment, marker string) bool {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, marker) {
+		return false
+	}
+	rest := text[len(marker):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t' || rest[0] == ':'
+}
+
+// SuppressedLines returns the set of lines a line-level marker covers
+// in the file: the marker's own line (trailing comment form) and the
+// line after it (own-line comment form).
+func SuppressedLines(fset *token.FileSet, f *ast.File, marker string) map[int]bool {
+	var lines map[int]bool
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !hasMarker(c.Text, marker) {
+				continue
+			}
+			if lines == nil {
+				lines = make(map[int]bool)
+			}
+			line := fset.Position(c.Pos()).Line
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return lines
+}
+
+// TestFile reports whether the position lies in a _test.go file; the
+// suite's analyzers check production code only (test code deliberately
+// violates the contracts it pins — alloc counters, torn-read hammers).
+func TestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

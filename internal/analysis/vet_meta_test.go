@@ -1,0 +1,61 @@
+package analysis_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoVetsClean builds taflocvet and runs it over the whole module
+// through the standard vet driver — the same invocation CI gates on —
+// asserting the tree carries no invariant violations. Skipped in -short
+// mode: it compiles the tool and re-typechecks every package.
+func TestRepoVetsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vet tool and typechecks the module; skipped in -short")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+
+	tool := filepath.Join(t.TempDir(), "taflocvet")
+	build := exec.Command(goTool, "build", "-o", tool, "./cmd/taflocvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building taflocvet: %v\n%s", err, out)
+	}
+
+	var out bytes.Buffer
+	vet := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	vet.Stdout = &out
+	vet.Stderr = &out
+	if err := vet.Run(); err != nil {
+		t.Errorf("go vet -vettool=taflocvet ./... failed: %v\n%s", err, out.String())
+	}
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,249 @@
+// Package vettest runs a single analyzer over GOPATH-style source
+// fixtures and checks its diagnostics against // want comments — a
+// self-contained stand-in for golang.org/x/tools/go/analysis/analysistest,
+// which needs go/packages and module resolution this repo's vendored
+// x/tools subset deliberately leaves out.
+//
+// Fixture layout mirrors analysistest: <testdata>/src/<importpath>/*.go,
+// typechecked against other fixture packages first and the standard
+// library (via the source importer) second. Expectations are trailing
+// comments of the form
+//
+//	x := twice() // want "regexp" "another regexp"
+//
+// where each string is a regular expression that must match one
+// diagnostic reported on that line; diagnostics with no matching want,
+// and wants with no matching diagnostic, fail the test.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each fixture package under testdata/src and applies the
+// analyzer, comparing diagnostics with the // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgpaths {
+		pi, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := run(a, l.fset, pi, make(map[*analysis.Analyzer]any))
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, l.fset, pi, diags)
+	}
+}
+
+// run executes the analyzer and (recursively) its Requires on one
+// loaded package, memoizing dependency results. Fact plumbing is not
+// implemented: the taflocvet suite declares no FactTypes.
+func run(a *analysis.Analyzer, fset *token.FileSet, pi *pkgInfo, results map[*analysis.Analyzer]any) ([]analysis.Diagnostic, error) {
+	resultOf := make(map[*analysis.Analyzer]any)
+	for _, dep := range a.Requires {
+		if _, ok := results[dep]; !ok {
+			if _, err := run(dep, fset, pi, results); err != nil {
+				return nil, fmt.Errorf("dependency %s: %w", dep.Name, err)
+			}
+		}
+		resultOf[dep] = results[dep]
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      pi.files,
+		Pkg:        pi.pkg,
+		TypesInfo:  pi.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   resultOf,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, err
+	}
+	results[a] = res
+	return diags, nil
+}
+
+// loader resolves import paths to fixture directories first and the
+// standard library second, typechecking fixtures from source.
+type loader struct {
+	fset   *token.FileSet
+	srcdir string
+	pkgs   map[string]*pkgInfo
+	std    types.Importer
+}
+
+type pkgInfo struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func newLoader(srcdir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:   fset,
+		srcdir: srcdir,
+		pkgs:   make(map[string]*pkgInfo),
+		std:    importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer for the typechecker's use while
+// loading a fixture.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.srcdir, path); isDir(dir) {
+		pi, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pi.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*pkgInfo, error) {
+	if pi, ok := l.pkgs[path]; ok {
+		return pi, nil
+	}
+	dir := filepath.Join(l.srcdir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pi := &pkgInfo{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = pi
+	return pi, nil
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantArgRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// checkWants cross-checks diagnostics against the fixture's // want
+// comments, failing the test on both unexpected diagnostics and
+// unsatisfied expectations.
+func checkWants(t *testing.T, fset *token.FileSet, pi *pkgInfo, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pi.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, q := range wantArgRe.FindAllString(m[1], -1) {
+					text := q[1 : len(q)-1]
+					if q[0] == '"' {
+						var err error
+						if text, err = strconv.Unquote(q); err != nil {
+							t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+						}
+					}
+					rx, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, text, err)
+					}
+					wants[k] = append(wants[k], rx)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, rx := range wants[k] {
+			if rx.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var keys []key
+	for k, rxs := range wants {
+		if len(rxs) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, rx := range wants[k] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, rx)
+		}
+	}
+}

@@ -43,6 +43,8 @@ type Matcher interface {
 type NNMatcher struct{}
 
 // Match implements Matcher.
+//
+//tafloc:noalloc steady-state matching must not allocate (PR 5 pin, AllocsPerRun-tested); growth happens only inside the Scratch.
 func (NNMatcher) Match(m *Model, y []float64, sc *Scratch) (Location, error) {
 	if err := checkMatch(m, y); err != nil {
 		return Location{}, err
@@ -71,6 +73,8 @@ type KNNMatcher struct {
 }
 
 // Match implements Matcher.
+//
+//tafloc:noalloc steady-state matching must not allocate; see NNMatcher.Match.
 func (km KNNMatcher) Match(m *Model, y []float64, sc *Scratch) (Location, error) {
 	if err := checkMatch(m, y); err != nil {
 		return Location{}, err
@@ -121,6 +125,8 @@ type BayesMatcher struct {
 }
 
 // Match implements Matcher.
+//
+//tafloc:noalloc steady-state matching must not allocate; see NNMatcher.Match.
 func (bm BayesMatcher) Match(m *Model, y []float64, sc *Scratch) (Location, error) {
 	if err := checkMatch(m, y); err != nil {
 		return Location{}, err
@@ -201,6 +207,8 @@ type WeightedKNNMatcher struct {
 }
 
 // Match implements Matcher.
+//
+//tafloc:noalloc steady-state matching must not allocate; see NNMatcher.Match.
 func (wm WeightedKNNMatcher) Match(m *Model, y []float64, sc *Scratch) (Location, error) {
 	if err := checkMatch(m, y); err != nil {
 		return Location{}, err
@@ -377,6 +385,8 @@ func (d Detector) Present(y []float64) (bool, float64) {
 // sortCands orders candidates by ascending distance — the same
 // comparison the matchers have always used, so sorted output (and thus
 // every location estimate) is unchanged by the scratch refactor.
+//
+//tafloc:noalloc the comparator captures nothing, so the func literal is a static singleton and SortFunc sorts in place.
 func sortCands(cands []cand) {
 	slices.SortFunc(cands, func(a, b cand) int {
 		switch {
@@ -406,6 +416,8 @@ func columnDist(x *mat.Matrix, j int, y []float64) float64 {
 // so small-database matching allocates nothing; either way every element
 // is computed with identical per-element arithmetic, so results are
 // bitwise independent of the worker count.
+//
+//tafloc:noalloc the FanOut gate keeps the common small-database case on the closure-free loop; only the fanned-out path pays the one closure.
 func columnDistsInto(dst []float64, x *mat.Matrix, y []float64) {
 	n := x.Cols()
 	if !mat.FanOut(n, matchChunk(x.Rows())) {
@@ -414,6 +426,7 @@ func columnDistsInto(dst []float64, x *mat.Matrix, y []float64) {
 		}
 		return
 	}
+	//tafloc:alloc-ok one closure per fanned-out round, amortized over >=1 chunk of per-cell work each worth thousands of flops
 	mat.ParallelFor(n, matchChunk(x.Rows()), func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			dst[j] = columnDist(x, j, y)
@@ -424,6 +437,8 @@ func columnDistsInto(dst []float64, x *mat.Matrix, y []float64) {
 // weightedDistsInto is columnDistsInto with per-entry inverse-variance
 // weights: wObs for observed (measured) entries, wRec for reconstructed
 // ones. A nil observed mask weighs every entry wObs.
+//
+//tafloc:noalloc same shape as columnDistsInto: closure-free unless the database is large enough to fan out.
 func weightedDistsInto(dst []float64, x, obs *mat.Matrix, y []float64, wObs, wRec float64) {
 	n := x.Cols()
 	if !mat.FanOut(n, matchChunk(x.Rows())) {
@@ -432,6 +447,7 @@ func weightedDistsInto(dst []float64, x, obs *mat.Matrix, y []float64, wObs, wRe
 		}
 		return
 	}
+	//tafloc:alloc-ok one closure per fanned-out round; see columnDistsInto
 	mat.ParallelFor(n, matchChunk(x.Rows()), func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			dst[j] = weightedDist(x, obs, j, y, wObs, wRec)

@@ -43,6 +43,8 @@ func PutScratch(sc *Scratch) { scratchPool.Put(sc) }
 
 // floats returns *buf resized to length n, growing through the mat
 // float pool when the capacity is insufficient.
+//
+//tafloc:pool-ownership grown buffers are retained in the Scratch across calls (that amortization is the point); they return to the mat pool when the next grow swaps them out, not via defer here.
 func (sc *Scratch) floats(buf *[]float64, n int) []float64 {
 	s := *buf
 	if cap(s) < n {
@@ -55,28 +57,36 @@ func (sc *Scratch) floats(buf *[]float64, n int) []float64 {
 }
 
 // distances returns the candidate-distance buffer, length n.
+//
+//tafloc:noalloc
 func (sc *Scratch) distances(n int) []float64 { return sc.floats(&sc.dists, n) }
 
 // posteriors returns the two posterior buffers (log-likelihoods and
 // normalized masses), each length n.
+//
+//tafloc:noalloc
 func (sc *Scratch) posteriors(n int) ([]float64, []float64) {
 	return sc.floats(&sc.logp, n), sc.floats(&sc.post, n)
 }
 
 // candidates returns the candidate buffer, length n.
+//
+//tafloc:noalloc steady state reuses the retained buffer; only growth allocates.
 func (sc *Scratch) candidates(n int) []cand {
 	if cap(sc.cands) < n {
-		sc.cands = make([]cand, n)
+		sc.cands = make([]cand, n) //tafloc:alloc-ok amortized grow to the largest database seen
 	}
 	sc.cands = sc.cands[:n]
 	return sc.cands
 }
 
 // interp returns the refinement interpolation buffers, each length m.
+//
+//tafloc:noalloc steady state reuses the retained buffers; only growth allocates.
 func (sc *Scratch) interp(m int) ([]float64, []bool) {
 	f := sc.floats(&sc.f, m)
 	if cap(sc.fObs) < m {
-		sc.fObs = make([]bool, m)
+		sc.fObs = make([]bool, m) //tafloc:alloc-ok amortized grow to the largest database seen
 	}
 	sc.fObs = sc.fObs[:m]
 	return f, sc.fObs

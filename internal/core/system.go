@@ -63,6 +63,7 @@ type System struct {
 	matcher Matcher // resolved once at construction; never nil
 
 	calMu sync.Mutex // serializes calibration writers
+	//tafloc:atomic
 	model atomic.Pointer[Model]
 }
 

@@ -44,6 +44,9 @@ func (s *Service) Handler() http.Handler {
 // tens of thousands of reports — far beyond one sampling round).
 const maxReportBody = 1 << 20
 
+// handleReport is the frozen /v1 ingest handler.
+//
+//tafloc:legacy-http the /v1 surface predates the taflocerr taxonomy and its status codes and bodies are pinned byte-identical by fixture tests; new handlers go on /v2 and write errors through errorV2.
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
@@ -67,6 +70,9 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleZoneList is the frozen /v1 zone index handler.
+//
+//tafloc:legacy-http pinned /v1 wire format; see handleReport.
 func (s *Service) handleZoneList(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
@@ -75,6 +81,9 @@ func (s *Service) handleZoneList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"zones": s.Zones()})
 }
 
+// handleZone is the frozen /v1 position handler.
+//
+//tafloc:legacy-http pinned /v1 wire format; see handleReport.
 func (s *Service) handleZone(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
@@ -98,6 +107,9 @@ func (s *Service) handleZone(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, e)
 }
 
+// handleHealthz is the frozen /v1 health handler.
+//
+//tafloc:legacy-http pinned /v1 wire format; see handleReport.
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")

@@ -124,7 +124,7 @@ func (s *Service) evictZone(z *zone) error {
 		return taflocerr.Errorf(taflocerr.CodeOf(err),
 			"serve: evict zone %q: %w", z.id, err)
 	}
-	if sys.Model() != model {
+	if sys.Model() != model { //tafloc:reload deliberate staleness re-check: a concurrent Update during WriteStore means the snapshot is stale and the zone must stay hot
 		return taflocerr.Errorf(taflocerr.CodeInternal,
 			"serve: zone %q model updated during eviction; zone stays hot", z.id)
 	}

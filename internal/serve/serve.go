@@ -228,6 +228,8 @@ type zone struct {
 	// the resolved pointer, so a concurrent eviction can never yank a
 	// System out from under a running fold or locate. Transitions are
 	// serialized by resMu; see residency.go.
+	//
+	//tafloc:atomic
 	sys        atomic.Pointer[core.System]
 	zc         zoneConfig
 	queue      chan []Report
@@ -988,6 +990,8 @@ func (s *Service) fold(z *zone, batch []Report) int {
 // Starved stat), gate on presence, and pass the estimate to the locate
 // stage. Absent estimates skip matching but still travel the locate
 // chain, which keeps per-zone publish order strict.
+//
+//tafloc:pool-ownership y is handed to dispatchLocate with the estimate; the locate task (or stop()) returns it to the mat pool after matching, and the early-return paths above that hand-off Put it explicitly.
 func (s *Service) prepareEstimate(z *zone) {
 	m := len(z.win)
 	y := mat.GetFloats(m)

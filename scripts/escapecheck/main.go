@@ -1,0 +1,281 @@
+// Command escapecheck audits the //tafloc:noalloc functions against the
+// compiler's escape analysis: the noalloc analyzer rejects allocating
+// *syntax*, but only -gcflags=-m knows what actually reaches the heap
+// (escaping parameters, interface boxing the analyzer has no list for,
+// optimizer regressions across toolchain upgrades).
+//
+// It recompiles the audited packages with -m, collects every
+// "escapes to heap" / "moved to heap" diagnostic that falls inside a
+// //tafloc:noalloc function, drops the ones on //tafloc:alloc-ok lines,
+// and requires the rest to appear in the committed allowlist
+// (scripts/escapecheck/allowlist.txt). New escapes fail the audit; the
+// fix is to remove the allocation, annotate the line with a
+// justification, or — for a reviewed, deliberate escape — add an
+// allowlist entry in the same commit that introduces it. Stale
+// allowlist entries are reported so the list only ever shrinks to
+// match reality.
+//
+// Usage (from the module root; CI runs exactly this):
+//
+//	go run ./scripts/escapecheck
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// auditPkgs are the package trees recompiled with -m. Keep in sync with
+// where //tafloc:noalloc annotations live.
+var auditPkgs = []string{"./internal/core", "./internal/serve", "./internal/mat"}
+
+const (
+	noallocMarker = "tafloc:noalloc"
+	allocOKMarker = "tafloc:alloc-ok"
+	allowlistPath = "scripts/escapecheck/allowlist.txt"
+)
+
+// span is the file range of one //tafloc:noalloc function.
+type span struct {
+	file     string // slash-separated, module-root relative
+	fn       string
+	from, to int // inclusive line range
+}
+
+func main() {
+	if err := runAudit(); err != nil {
+		fmt.Fprintf(os.Stderr, "escapecheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runAudit() error {
+	spans, allocOK, err := collectSpans()
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no //tafloc:noalloc functions found under %v; the audit would be vacuous", auditPkgs)
+	}
+
+	mOutput, err := compileWithM()
+	if err != nil {
+		return err
+	}
+
+	escapes := filterEscapes(mOutput, spans, allocOK)
+
+	allowed, err := readAllowlist(allowlistPath)
+	if err != nil {
+		return err
+	}
+
+	var bad []string
+	used := make(map[string]bool)
+	for _, e := range escapes {
+		if name, ok := matchAllowlist(allowed, e); ok {
+			used[name] = true
+			continue
+		}
+		bad = append(bad, e)
+	}
+	var stale []string
+	for _, a := range allowed {
+		if !used[a] {
+			stale = append(stale, a)
+		}
+	}
+
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "escapecheck: %d heap escape(s) inside //tafloc:noalloc functions:\n", len(bad))
+		for _, e := range bad {
+			fmt.Fprintf(os.Stderr, "  %s\n", e)
+		}
+		fmt.Fprintf(os.Stderr, "fix the allocation, annotate the line //tafloc:alloc-ok with a justification, or allowlist it in %s\n", allowlistPath)
+		return fmt.Errorf("audit failed")
+	}
+	for _, a := range stale {
+		fmt.Fprintf(os.Stderr, "escapecheck: stale allowlist entry (matched nothing): %s\n", a)
+	}
+	fmt.Printf("escapecheck: %d noalloc function(s) audited, no unreviewed heap escapes\n", len(spans))
+	return nil
+}
+
+// collectSpans parses the audited trees for //tafloc:noalloc functions
+// and //tafloc:alloc-ok suppressed lines.
+func collectSpans() ([]span, map[string]bool, error) {
+	var spans []span
+	allocOK := make(map[string]bool) // "file:line"
+	fset := token.NewFileSet()
+	for _, pkg := range auditPkgs {
+		root := strings.TrimPrefix(pkg, "./")
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			rel := filepath.ToSlash(path)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if markerIn(c.Text, allocOKMarker) {
+						line := fset.Position(c.Pos()).Line
+						allocOK[fmt.Sprintf("%s:%d", rel, line)] = true
+						allocOK[fmt.Sprintf("%s:%d", rel, line+1)] = true
+					}
+				}
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || fd.Body == nil {
+					continue
+				}
+				marked := false
+				for _, c := range fd.Doc.List {
+					if markerIn(c.Text, noallocMarker) {
+						marked = true
+						break
+					}
+				}
+				if !marked {
+					continue
+				}
+				spans = append(spans, span{
+					file: rel,
+					fn:   fd.Name.Name,
+					from: fset.Position(fd.Pos()).Line,
+					to:   fset.Position(fd.End()).Line,
+				})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return spans, allocOK, nil
+}
+
+func markerIn(comment, marker string) bool {
+	text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(comment, "//"), "/*"))
+	if !strings.HasPrefix(text, marker) {
+		return false
+	}
+	rest := text[len(marker):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t' || rest[0] == ':'
+}
+
+// compileWithM recompiles the audited packages with -gcflags=-m and
+// returns the compiler's stderr. The build cache only suppresses the
+// diagnostics when an identical -m compile already ran on identical
+// sources, in which case the previous audit's verdict still stands.
+func compileWithM() (string, error) {
+	args := []string{"build"}
+	for _, pkg := range auditPkgs {
+		pattern := "tafloc/" + strings.TrimPrefix(pkg, "./")
+		args = append(args, "-gcflags="+pattern+"=-m")
+	}
+	args = append(args, auditPkgs...)
+	cmd := exec.Command("go", args...)
+	var out strings.Builder
+	cmd.Stderr = &out
+	cmd.Stdout = &out
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, out.String())
+	}
+	return out.String(), nil
+}
+
+var escapeRe = regexp.MustCompile(`^(.*\.go):(\d+):\d+: (.*(?:escapes to heap|moved to heap).*)$`)
+
+// filterEscapes keeps the -m diagnostics that land inside a noalloc
+// span and are not suppressed by an alloc-ok marker. Each kept escape
+// is rendered "file:line [func]: message".
+func filterEscapes(output string, spans []span, allocOK map[string]bool) []string {
+	var escapes []string
+	sc := bufio.NewScanner(strings.NewReader(output))
+	for sc.Scan() {
+		m := escapeRe.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		file := filepath.ToSlash(m[1])
+		line, _ := strconv.Atoi(m[2])
+		msg := m[3]
+		for _, s := range spans {
+			if s.file != file || line < s.from || line > s.to {
+				continue
+			}
+			if allocOK[fmt.Sprintf("%s:%d", file, line)] {
+				break
+			}
+			escapes = append(escapes, fmt.Sprintf("%s:%d [%s]: %s", file, line, s.fn, msg))
+			break
+		}
+	}
+	sort.Strings(escapes)
+	return escapes
+}
+
+// readAllowlist loads non-blank, non-comment lines: each is
+// "file:func: message-substring", matched against rendered escapes.
+func readAllowlist(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var entries []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entries = append(entries, line)
+	}
+	return entries, nil
+}
+
+// matchAllowlist matches an escape against the entries: an entry
+// "file:func: substring" matches when the escape is in that file and
+// function and its message contains the substring.
+func matchAllowlist(entries []string, escape string) (string, bool) {
+	for _, e := range entries {
+		fileFn, sub, ok := strings.Cut(e, ": ")
+		if !ok {
+			fileFn, sub = e, ""
+		}
+		file, fn, ok := strings.Cut(fileFn, ":")
+		if !ok {
+			continue
+		}
+		if strings.HasPrefix(escape, file+":") && strings.Contains(escape, "["+fn+"]") &&
+			(sub == "" || strings.Contains(escape, sub)) {
+			return e, true
+		}
+	}
+	return "", false
+}
