@@ -6,6 +6,15 @@
 //	go build -o bin/taflocvet ./cmd/taflocvet
 //	go vet -vettool=$(pwd)/bin/taflocvet ./...
 //
+// Add -json for machine-readable output — one object per package,
+// keyed by analyzer, each diagnostic carrying "posn" and "message":
+//
+//	go vet -vettool=$(pwd)/bin/taflocvet -json ./...
+//
+// The default file:line:col format is what
+// .github/problem-matchers/taflocvet.json matches, so CI annotates
+// violations inline on pull requests.
+//
 // CI runs exactly that as a hard gate (see .github/workflows and
 // docs/INVARIANTS.md for the contract each analyzer enforces).
 package main

@@ -1,0 +1,330 @@
+// Package atomicmix enforces a single access discipline per struct
+// field: a field accessed through sync/atomic in one place (a typed
+// atomic's method set, or &x.f passed to a sync/atomic function) and
+// by a plain load or store anywhere else — any other package included
+// — is a torn-read bug waiting for the race detector to miss it.
+//
+// This generalizes atomiconce from call sites to field sets:
+// atomiconce checks that marked RCU pointers are loaded once per
+// request path; atomicmix checks that every field in the program is
+// either always-atomic or never-atomic. Two rules:
+//
+//   - a field of a sync/atomic type (atomic.Pointer[T], atomic.Bool,
+//     atomic.Int64, ...) may only be used through its method set:
+//     any other mention is an error, no second sighting needed;
+//   - a plain-typed field gains the atomic discipline the first time
+//     &x.f is passed to a sync/atomic function, anywhere; every plain
+//     access (before or after, any package) is then an error.
+//
+// Cross-package sightings travel as package facts keyed by the
+// owner-qualified field key ("pkg.Type.field"). A sighting pair is
+// reported by the first package that can see both sides; a pair whose
+// two sides live in sibling packages that never import each other is
+// out of reach (documented limitation). The escape hatch is a
+// //tafloc:mixed-access marker on the field declaration naming the
+// external synchronization that makes the mixing safe.
+package atomicmix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"tafloc/internal/analysis/ssaflow"
+	"tafloc/internal/analysis/tags"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicmix",
+	Doc:       "a struct field touched through sync/atomic in one place must never see a plain load/store elsewhere",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	Run:       run,
+	FactTypes: []analysis.Fact{(*accessesFact)(nil)},
+}
+
+// accessesFact records the package's locally-observed field accesses:
+// first atomic sighting, first plain sighting, and exempted keys.
+type accessesFact struct {
+	Atomic map[string]string // field key -> "file:line" of first atomic use
+	Plain  map[string]string // field key -> "file:line" of first plain use
+	Exempt []string          // keys marked //tafloc:mixed-access
+}
+
+func (*accessesFact) AFact() {}
+func (f *accessesFact) String() string {
+	return fmt.Sprintf("accesses(atomic=%d, plain=%d)", len(f.Atomic), len(f.Plain))
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	skipFile := make(map[*ast.File]bool)
+	exempt := make(map[string]bool)
+	for _, f := range pass.Files {
+		if tags.SkipFile(f) || tags.TestFile(pass.Fset, f.Pos()) {
+			skipFile[f] = true
+		}
+		collectExempt(pass, f, exempt)
+	}
+
+	// Sightings from every package this one can see, merged first so
+	// exemptions declared by a field's owner apply here too.
+	impAtomic := make(map[string]string)
+	impPlain := make(map[string]string)
+	for _, imp := range allImports(pass.Pkg) {
+		var f accessesFact
+		if !pass.ImportPackageFact(imp, &f) {
+			continue
+		}
+		for k, v := range f.Atomic {
+			if _, ok := impAtomic[k]; !ok {
+				impAtomic[k] = v
+			}
+		}
+		for k, v := range f.Plain {
+			if _, ok := impPlain[k]; !ok {
+				impPlain[k] = v
+			}
+		}
+		for _, k := range f.Exempt {
+			exempt[k] = true
+		}
+	}
+
+	localAtomic := make(map[string]string)
+	localPlain := make(map[string]string)
+	type site struct {
+		key string
+		pos token.Pos
+	}
+	var plainSites, atomicSites []site
+
+	nodeTypes := []ast.Node{(*ast.File)(nil), (*ast.SelectorExpr)(nil)}
+	var curFile *ast.File
+	ins.WithStack(nodeTypes, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if f, ok := n.(*ast.File); ok {
+			curFile = f
+			return true
+		}
+		if !push || skipFile[curFile] {
+			return true
+		}
+		sel := n.(*ast.SelectorExpr)
+		obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok || !obj.IsField() {
+			return true
+		}
+		key := fieldKey(pass.TypesInfo, sel)
+		if key == "" {
+			return true
+		}
+		pos := pass.Fset.Position(sel.Pos()).String()
+		switch {
+		case isAtomicUse(pass.TypesInfo, sel, stack):
+			if _, ok := localAtomic[key]; !ok {
+				localAtomic[key] = pos
+				atomicSites = append(atomicSites, site{key: key, pos: sel.Pos()})
+			}
+		case atomicType(obj.Type()) != "":
+			// An atomic-typed field outside its method set is wrong on
+			// the first sighting; no pairing needed.
+			if !exempt[key] {
+				pass.Reportf(sel.Pos(), "field %s has type %s and must only be used through its atomic method set (see docs/INVARIANTS.md)",
+					short(key), atomicType(obj.Type()))
+			}
+		default:
+			if _, ok := localPlain[key]; !ok {
+				localPlain[key] = pos
+			}
+			plainSites = append(plainSites, site{key: key, pos: sel.Pos()})
+		}
+		return true
+	})
+
+	// Report each conflicting pair once, at a local site: the plain
+	// site when we have one, else the local atomic site (its plain
+	// counterpart lives in a dependency that could not see us).
+	reported := make(map[string]bool)
+	for _, s := range plainSites {
+		if exempt[s.key] || reported[s.key] {
+			continue
+		}
+		apos, ok := localAtomic[s.key]
+		if !ok {
+			apos, ok = impAtomic[s.key]
+		}
+		if ok {
+			reported[s.key] = true
+			pass.Reportf(s.pos, "field %s is accessed through sync/atomic at %s but with a plain load/store here: one discipline only, or mark the field //tafloc:mixed-access (see docs/INVARIANTS.md)",
+				short(s.key), apos)
+		}
+	}
+	for _, s := range atomicSites {
+		if exempt[s.key] || reported[s.key] {
+			continue
+		}
+		if ppos, ok := impPlain[s.key]; ok {
+			reported[s.key] = true
+			pass.Reportf(s.pos, "field %s is accessed with a plain load/store at %s but through sync/atomic here: one discipline only, or mark the field //tafloc:mixed-access (see docs/INVARIANTS.md)",
+				short(s.key), ppos)
+		}
+	}
+
+	if len(localAtomic)+len(localPlain)+len(exempt) > 0 {
+		f := &accessesFact{Atomic: localAtomic, Plain: localPlain, Exempt: sortedKeys(exempt)}
+		pass.ExportPackageFact(f)
+	}
+	return nil, nil
+}
+
+// fieldKey is the owner-qualified key for the selected field, "" if
+// the owner type cannot be named.
+func fieldKey(info *types.Info, sel *ast.SelectorExpr) string {
+	obj := info.Uses[sel.Sel].(*types.Var)
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil {
+		return ""
+	}
+	pkgpath := "_"
+	if n.Obj().Pkg() != nil {
+		pkgpath = n.Obj().Pkg().Path()
+	}
+	return ssaflow.FieldKey(pkgpath, n.Obj().Name(), obj.Name())
+}
+
+// atomicType returns the sync/atomic type name ("atomic.Pointer",
+// "atomic.Int64", ...) if the type is a typed atomic, else "".
+func atomicType(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok {
+		if a, ok := t.(*types.Alias); ok {
+			return atomicType(types.Unalias(a))
+		}
+		return ""
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	return "atomic." + obj.Name()
+}
+
+// isAtomicUse reports whether the field selection is used through the
+// atomic discipline: selecting a sync/atomic method on it, or taking
+// its address as an argument to a sync/atomic function.
+func isAtomicUse(info *types.Info, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	// stack[len-1] == sel; parent is stack[len-2].
+	if len(stack) < 2 {
+		return false
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.SelectorExpr:
+		// x.f.Load — parent selects a method of a sync/atomic type.
+		if parent.X != sel {
+			return false
+		}
+		if m, ok := info.Uses[parent.Sel].(*types.Func); ok {
+			return m.Pkg() != nil && m.Pkg().Path() == "sync/atomic"
+		}
+	case *ast.UnaryExpr:
+		// atomic.AddInt64(&x.f, 1) — address passed to a sync/atomic
+		// function (possibly through a conversion).
+		if parent.Op != token.AND {
+			return false
+		}
+		for i := len(stack) - 3; i >= 0; i-- {
+			call, ok := stack[i].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fn := typeutil.StaticCallee(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+				return true
+			}
+			return false
+		}
+	}
+	return false
+}
+
+func collectExempt(pass *analysis.Pass, file *ast.File, exempt map[string]bool) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				if !tags.Marked(field.Doc, tags.MixedAccess) && !tags.Marked(field.Comment, tags.MixedAccess) {
+					continue
+				}
+				for _, name := range field.Names {
+					exempt[ssaflow.FieldKey(pass.Pkg.Path(), ts.Name.Name, name.Name)] = true
+				}
+			}
+		}
+	}
+}
+
+func short(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+func cloneMap(m map[string]string) map[string]string {
+	c := make(map[string]string, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func allImports(pkg *types.Package) []*types.Package {
+	var out []*types.Package
+	seen := map[*types.Package]bool{pkg: true}
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		for _, imp := range p.Imports() {
+			if !seen[imp] {
+				seen[imp] = true
+				out = append(out, imp)
+				visit(imp)
+			}
+		}
+	}
+	visit(pkg)
+	return out
+}

@@ -1,0 +1,11 @@
+package atomicmix
+
+import (
+	"testing"
+
+	"tafloc/internal/analysis/vettest"
+)
+
+func TestAtomicmix(t *testing.T) {
+	vettest.Run(t, "testdata", Analyzer, "a", "b")
+}

@@ -1,0 +1,47 @@
+// Package a exercises the intra-package atomicmix rules: typed
+// atomics outside their method set, plain/atomic mixing on plain
+// fields, and the //tafloc:mixed-access exemption.
+package a
+
+import "sync/atomic"
+
+type S struct {
+	// Good is always used through its method set.
+	Good atomic.Int64
+	// Bad is copied plainly below.
+	Bad atomic.Int64
+	// Count is touched with atomic.AddInt64 here and read plainly.
+	Count int64
+	// Mixed is deliberately mixed.
+	//tafloc:mixed-access single-writer before publish; readers use Add
+	Mixed int64
+	// PlainOnly never sees atomics in this package; fixture b adds
+	// the atomic side cross-package.
+	PlainOnly int64
+}
+
+func ok(s *S) int64 {
+	return s.Good.Load()
+}
+
+func badCopy(s *S) int64 {
+	v := s.Bad // want `field a\.S\.Bad has type atomic\.Int64 and must only be used through its atomic method set`
+	return v.Load()
+}
+
+func mixesCount(s *S) {
+	atomic.AddInt64(&s.Count, 1)
+}
+
+func readsCountPlainly(s *S) int64 {
+	return s.Count // want `field a\.S\.Count is accessed through sync/atomic at .* but with a plain load/store here`
+}
+
+func mixedExempt(s *S) {
+	atomic.AddInt64(&s.Mixed, 1)
+	s.Mixed = 0 // exempted by the field marker
+}
+
+func plainOnly(s *S) {
+	s.PlainOnly = 1
+}

@@ -1,0 +1,21 @@
+// Package b exercises the cross-package atomicmix rules: sightings
+// and exemptions imported as package facts from a.
+package b
+
+import (
+	"sync/atomic"
+
+	"a"
+)
+
+func plainHereAtomicThere(s *a.S) int64 {
+	return s.Count // want `field a\.S\.Count is accessed through sync/atomic at .* but with a plain load/store here`
+}
+
+func atomicHerePlainThere(s *a.S) {
+	atomic.AddInt64(&s.PlainOnly, 1) // want `field a\.S\.PlainOnly is accessed with a plain load/store at .* but through sync/atomic here`
+}
+
+func exemptTravels(s *a.S) {
+	s.Mixed = 2 // the //tafloc:mixed-access exemption is a fact from a
+}

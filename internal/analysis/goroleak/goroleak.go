@@ -1,0 +1,327 @@
+// Package goroleak enforces the serve layer's quiesce contract: every
+// goroutine launched with a go statement in the configured packages
+// must be reapable. Zone Remove/Update and service Close wait on
+// tracked WaitGroups (and the executor pool drains its own workers);
+// a stray `go` that nothing waits for is exactly the regression that
+// makes quiescence flaky under churn.
+//
+// A go statement passes the check when:
+//
+//   - its function literal body defers Done() on a sync.WaitGroup,
+//     and an Add on that same WaitGroup class dominates the go
+//     statement (a flow-sensitive must-analysis over the CFG: Add on
+//     every path into the launch); or
+//   - it launches a declared function or method that defers Done() on
+//     a WaitGroup — a receiver field or package var (checked against
+//     the same dominating-Add rule at the launch site), or one of the
+//     callee's own WaitGroup-pointer parameters (the matching launch
+//     argument is what must be Add-dominated). Summaries travel as
+//     object facts, so cross-package launches check too; or
+//   - the line carries "//tafloc:detached <why>", the explicit
+//     opt-out naming who reaps the goroutine.
+//
+// When the Done target resolves to a WaitGroup parameter of the
+// enclosing function, the Add is the caller's responsibility and the
+// dominating-Add check is skipped.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"tafloc/internal/analysis/ssaflow"
+	"tafloc/internal/analysis/tags"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "goroleak",
+	Doc:       "every go statement in the serve layer must be tied to a quiesce path (tracked WaitGroup or //tafloc:detached)",
+	Requires:  []*analysis.Analyzer{ssaflow.Analyzer},
+	Run:       run,
+	FactTypes: []analysis.Fact{(*quiesceFact)(nil)},
+}
+
+// packages scopes the check; go statements elsewhere are unchecked
+// (but their callees still export quiesce facts).
+var packages = "tafloc/internal/serve"
+
+func init() {
+	Analyzer.Flags.StringVar(&packages, "packages", packages,
+		"comma-separated package paths whose go statements must quiesce")
+}
+
+// quiesceFact summarizes how a declared function quiesces: it defers
+// Done() on the WaitGroup class WG (receiver field or package var),
+// or on its Param'th parameter (Param >= 0, WG empty).
+type quiesceFact struct {
+	WG    string
+	Param int
+}
+
+func (*quiesceFact) AFact() {}
+func (f *quiesceFact) String() string {
+	if f.Param >= 0 {
+		return "quiesces(param)"
+	}
+	return "quiesces(" + f.WG + ")"
+}
+
+// added is the must-analysis state: WaitGroup classes with an Add on
+// every path from function entry.
+type added map[string]bool
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	fns := pass.ResultOf[ssaflow.Analyzer].(*ssaflow.Funcs)
+
+	// Export quiesce facts for every declared function regardless of
+	// package scope: serve checks launches of functions anywhere.
+	local := make(map[*types.Func]quiesceFact)
+	for _, fn := range fns.All {
+		if fn.Obj == nil || fn.Body() == nil {
+			continue
+		}
+		obj, class := deferredDone(pass, fn.Body())
+		if class == "" {
+			continue
+		}
+		q := quiesceFact{WG: class, Param: -1}
+		if i := paramIndex(pass, fn, obj); i >= 0 {
+			q = quiesceFact{Param: i}
+		}
+		local[fn.Obj] = q
+		qq := q
+		pass.ExportObjectFact(fn.Obj, &qq)
+	}
+
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+
+	suppressed := make(map[string]map[int]bool)
+	for _, f := range pass.Files {
+		if lines := tags.SuppressedLines(pass.Fset, f, tags.Detached); lines != nil {
+			suppressed[pass.Fset.Position(f.Pos()).Filename] = lines
+		}
+	}
+
+	for _, fn := range fns.All {
+		if fn.CFG == nil {
+			continue
+		}
+		checkFn(pass, fn, local, suppressed)
+	}
+	return nil, nil
+}
+
+func inScope(path string) bool {
+	for _, p := range strings.Split(packages, ",") {
+		if strings.TrimSpace(p) == path {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFn(pass *analysis.Pass, fn *ssaflow.Fn, local map[*types.Func]quiesceFact, suppressed map[string]map[int]bool) {
+	params := paramObjects(pass, fn)
+	df := ssaflow.Dataflow[added]{
+		Clone: func(s added) added {
+			c := make(added, len(s))
+			for k := range s {
+				c[k] = true
+			}
+			return c
+		},
+		MergeInto: func(dst, src added) bool {
+			changed := false
+			for k := range dst {
+				if !src[k] {
+					delete(dst, k)
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(n ast.Node, s added) added {
+			recordAdds(pass, n, s)
+			return s
+		},
+	}
+	states, seen := df.Run(fn.CFG, added{})
+	df.Walk(fn.CFG, states, seen, func(n ast.Node, before added) {
+		gostmt, ok := n.(*ast.GoStmt)
+		if !ok {
+			return
+		}
+		p := pass.Fset.Position(gostmt.Pos())
+		if suppressed[p.Filename][p.Line] {
+			return
+		}
+		wgObj, wg, ok := launchDone(pass, gostmt, local)
+		if !ok {
+			pass.Reportf(gostmt.Pos(), "goroutine is not tied to a quiesce path: defer Done() on a tracked sync.WaitGroup inside it (with Add before the launch) or justify with //tafloc:detached (see docs/INVARIANTS.md)")
+			return
+		}
+		if wgObj != nil && params[wgObj] {
+			return // Done on a WaitGroup parameter: the caller Adds
+		}
+		if wg != "" && !before[wg] {
+			pass.Reportf(gostmt.Pos(), "goroutine defers Done() on %s but no %s.Add dominates this go statement (Add must happen on every path before the launch)",
+				short(wg), short(wg))
+		}
+	})
+}
+
+// recordAdds adds the class of every X.Add(n) WaitGroup call in the
+// node to the state. Calls behind defer or nested literals do not
+// count (they don't execute here).
+func recordAdds(pass *analysis.Pass, n ast.Node, s added) {
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(n, func(m ast.Node) bool {
+		if d, ok := m.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok || deferred[call] {
+			return true
+		}
+		if callee := ssaflow.StaticCallee(pass.TypesInfo, call); callee == nil || callee.FullName() != "(*sync.WaitGroup).Add" {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if _, class, ok := ssaflow.ResolveClass(pass.TypesInfo, pass.Fset, sel.X); ok {
+			s[class] = true
+		}
+		return true
+	})
+}
+
+// launchDone resolves how the launched goroutine quiesces. It returns
+// ok=false when no quiesce tie exists; otherwise the WaitGroup class
+// to check for a dominating Add ("" when nothing checkable at this
+// site) and the object anchoring it (for the parameter exemption).
+func launchDone(pass *analysis.Pass, gostmt *ast.GoStmt, local map[*types.Func]quiesceFact) (types.Object, string, bool) {
+	if lit, ok := ast.Unparen(gostmt.Call.Fun).(*ast.FuncLit); ok {
+		obj, class := deferredDone(pass, lit.Body)
+		return obj, class, class != ""
+	}
+	callee := ssaflow.StaticCallee(pass.TypesInfo, gostmt.Call)
+	if callee == nil {
+		return nil, "", false
+	}
+	q, ok := local[callee]
+	if !ok {
+		var f quiesceFact
+		if !pass.ImportObjectFact(callee, &f) {
+			return nil, "", false
+		}
+		q = f
+	}
+	if q.Param < 0 {
+		return nil, q.WG, true
+	}
+	// The callee Dones its q.Param'th parameter: the matching launch
+	// argument is what must be Add-dominated here.
+	if q.Param >= len(gostmt.Call.Args) {
+		return nil, "", true
+	}
+	obj, class, ok := ssaflow.ResolveClass(pass.TypesInfo, pass.Fset, gostmt.Call.Args[q.Param])
+	if !ok {
+		return nil, "", true
+	}
+	return obj, class, true
+}
+
+// deferredDone returns the object and class of the WaitGroup a body
+// defers Done() on ("" if none), ignoring nested literals.
+func deferredDone(pass *analysis.Pass, body *ast.BlockStmt) (types.Object, string) {
+	var class string
+	var obj types.Object
+	ast.Inspect(body, func(m ast.Node) bool {
+		if class != "" {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		d, ok := m.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		callee := ssaflow.StaticCallee(pass.TypesInfo, d.Call)
+		if callee == nil || callee.FullName() != "(*sync.WaitGroup).Done" {
+			return true
+		}
+		sel, ok := ast.Unparen(d.Call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if o, c, ok := ssaflow.ResolveClass(pass.TypesInfo, pass.Fset, sel.X); ok {
+			obj, class = o, c
+		}
+		return true
+	})
+	return obj, class
+}
+
+// paramIndex returns the flattened parameter index of obj in fn's
+// signature, or -1.
+func paramIndex(pass *analysis.Pass, fn *ssaflow.Fn, obj types.Object) int {
+	if fn.Decl == nil || obj == nil {
+		return -1
+	}
+	i := 0
+	for _, field := range fn.Decl.Type.Params.List {
+		for _, name := range field.Names {
+			if pass.TypesInfo.Defs[name] == obj {
+				return i
+			}
+			i++
+		}
+	}
+	return -1
+}
+
+// paramObjects collects the parameter (and receiver) objects of the
+// function, so Done-on-a-parameter launches skip the local Add check.
+func paramObjects(pass *analysis.Pass, fn *ssaflow.Fn) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if o := pass.TypesInfo.Defs[name]; o != nil {
+					out[o] = true
+				}
+			}
+		}
+	}
+	if fn.Decl != nil {
+		collect(fn.Decl.Recv)
+		collect(fn.Decl.Type.Params)
+	} else if fn.Lit != nil {
+		collect(fn.Lit.Type.Params)
+	}
+	return out
+}
+
+func short(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

@@ -1,0 +1,14 @@
+package goroleak
+
+import (
+	"testing"
+
+	"tafloc/internal/analysis/vettest"
+)
+
+func TestGoroleak(t *testing.T) {
+	old := packages
+	packages = "a,b"
+	t.Cleanup(func() { packages = old })
+	vettest.Run(t, "testdata", Analyzer, "a", "b")
+}

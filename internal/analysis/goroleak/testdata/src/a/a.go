@@ -1,0 +1,81 @@
+// Package a exercises the goroleak rules: literal and method
+// launches, the dominating-Add must-analysis, the parameter
+// exemption, and the //tafloc:detached opt-out.
+package a
+
+import "sync"
+
+type Svc struct {
+	wg sync.WaitGroup
+}
+
+// Worker defers Done on the service WaitGroup; launch sites must Add
+// the same class first.
+func (s *Svc) Worker() {
+	defer s.wg.Done()
+}
+
+// Run defers Done on its caller's WaitGroup; launch sites must Add
+// the argument they pass.
+func Run(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+func okLit(s *Svc) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+	}()
+}
+
+func okMethod(s *Svc) {
+	s.wg.Add(1)
+	go s.Worker()
+}
+
+func untied(s *Svc) {
+	go func() {}() // want `goroutine is not tied to a quiesce path`
+}
+
+func detached(s *Svc) {
+	go func() {}() //tafloc:detached process-lifetime stats flusher, reaped at exit
+}
+
+func missingAdd(s *Svc, cond bool) {
+	if cond {
+		s.wg.Add(1)
+	}
+	go func() { // want `no a\.Svc\.wg\.Add dominates this go statement`
+		defer s.wg.Done()
+	}()
+}
+
+func addOnAllPaths(s *Svc, cond bool) {
+	if cond {
+		s.wg.Add(1)
+	} else {
+		s.wg.Add(1)
+	}
+	go func() {
+		defer s.wg.Done()
+	}()
+}
+
+func methodMissingAdd(s *Svc) {
+	go s.Worker() // want `no a\.Svc\.wg\.Add dominates this go statement`
+}
+
+func paramDone(wg *sync.WaitGroup) {
+	go func() { // the caller Adds; Done on a parameter is its promise
+		defer wg.Done()
+	}()
+}
+
+func launchRun(s *Svc) {
+	s.wg.Add(1)
+	go Run(&s.wg)
+}
+
+func launchRunMissingAdd(s *Svc) {
+	go Run(&s.wg) // want `no a\.Svc\.wg\.Add dominates this go statement`
+}

@@ -1,0 +1,22 @@
+// Package b exercises cross-package quiesce facts: launching a's
+// functions checks the summaries a exported.
+package b
+
+import (
+	"sync"
+
+	"a"
+)
+
+type Pool struct {
+	WG sync.WaitGroup
+}
+
+func okCross(p *Pool) {
+	p.WG.Add(1)
+	go a.Run(&p.WG)
+}
+
+func crossMissingAdd(p *Pool) {
+	go a.Run(&p.WG) // want `no b\.Pool\.WG\.Add dominates this go statement`
+}

@@ -1,0 +1,628 @@
+// Package lockorder builds the interprocedural lock-acquisition graph
+// over every mutex the repo declares and enforces the canonical order
+// documented in docs/INVARIANTS.md.
+//
+// Mutex fields (and package-level mutex vars) declare their rank with
+// "//tafloc:lock-order <rank> <name>"; lower ranks are acquired first.
+// The analyzer runs a flow-sensitive may-held lockset over each
+// function's CFG (via ssaflow), propagates "locks this function
+// acquires transitively" summaries across packages as object facts,
+// and reports:
+//
+//   - acquiring a ranked lock of rank <= the highest ranked lock
+//     already held (order inversion);
+//   - acquiring a lock of a class already held (same-class nesting —
+//     an undeclared instance order, and a self-deadlock for plain
+//     sync.Mutex);
+//   - calling a function whose transitive acquisitions violate either
+//     rule against the caller's held set;
+//   - cycles among lock classes in the whole-program acquisition
+//     graph (catches unranked mutexes too).
+//
+// Known under-approximations, accepted and documented in
+// docs/INVARIANTS.md: calls through interfaces and function values
+// are not resolved (the executor's task closures are invisible, which
+// is also correct — they run on a worker goroutine with an empty
+// lockset); function literals are analyzed as separate roots with
+// empty entry locksets, so a closure invoked synchronously does not
+// contribute to its creator's summary; deferred and go-launched calls
+// do not contribute call edges.
+//
+// A "//tafloc:lock-ok <why>" line marker suppresses one acquisition
+// diagnostic.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"tafloc/internal/analysis/ssaflow"
+	"tafloc/internal/analysis/tags"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "lockorder",
+	Doc:      "enforce the canonical mutex acquisition order declared with //tafloc:lock-order ranks",
+	Requires: []*analysis.Analyzer{ssaflow.Analyzer},
+	Run:      run,
+	FactTypes: []analysis.Fact{
+		(*acquiresFact)(nil),
+		(*ranksFact)(nil),
+		(*edgesFact)(nil),
+	},
+}
+
+// acquiresFact records, on a *types.Func, the lock classes the
+// function acquires transitively through static calls.
+type acquiresFact struct{ Classes []string }
+
+func (*acquiresFact) AFact() {}
+func (f *acquiresFact) String() string {
+	return "acquires(" + strings.Join(f.Classes, ",") + ")"
+}
+
+// ranksFact records the package's declared lock ranks.
+type ranksFact struct{ Ranks map[string]int }
+
+func (*ranksFact) AFact()           {}
+func (f *ranksFact) String() string { return fmt.Sprintf("ranks(%d)", len(f.Ranks)) }
+
+// edgesFact records the held->acquired edges observed in the package,
+// for whole-program cycle detection downstream.
+type edgesFact struct{ Edges []factEdge }
+
+type factEdge struct {
+	From, To string
+	Pos      string // "file:line" of the acquisition, for messages
+}
+
+func (*edgesFact) AFact()           {}
+func (f *edgesFact) String() string { return fmt.Sprintf("edges(%d)", len(f.Edges)) }
+
+// lockset maps held lock-class keys to the position that acquired
+// them (for diagnostics).
+type lockset map[string]token.Pos
+
+// event is one program point the walk emits: a direct acquisition or
+// a static call, with the lockset held immediately before it.
+type event struct {
+	acquire string      // lock class acquired ("" for calls)
+	callee  *types.Func // static callee (nil for acquisitions)
+	held    lockset
+	pos     token.Pos
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	fns := pass.ResultOf[ssaflow.Analyzer].(*ssaflow.Funcs)
+
+	ranks := collectRanks(pass)
+	pass.ExportPackageFact(&ranksFact{Ranks: ranks})
+	for _, imp := range allImports(pass.Pkg) {
+		var rf ranksFact
+		if pass.ImportPackageFact(imp, &rf) {
+			for k, v := range rf.Ranks {
+				if _, ok := ranks[k]; !ok {
+					ranks[k] = v
+				}
+			}
+		}
+	}
+
+	// Pass 1: per-function lockset dataflow; buffer events.
+	events := make(map[*ssaflow.Fn][]event)
+	for _, fn := range fns.All {
+		if fn.CFG == nil {
+			continue
+		}
+		events[fn] = analyzeFn(pass, fn)
+	}
+
+	// Pass 2: transitive acquisition summaries over the package call
+	// graph, seeded with imported facts.
+	trans := summaries(pass, fns, events)
+	for _, fn := range fns.All {
+		if fn.Obj == nil {
+			continue
+		}
+		if classes := sortedKeys(trans[fn.Obj]); len(classes) > 0 {
+			pass.ExportObjectFact(fn.Obj, &acquiresFact{Classes: classes})
+		}
+	}
+
+	// Pass 3: turn events into edges; check each locally-observed edge.
+	suppressed := suppressedLines(pass)
+	var local []factEdge
+	localPos := map[[2]string]token.Pos{}
+	seen := map[[2]string]bool{}
+	addEdge := func(from, to string, pos token.Pos) {
+		k := [2]string{from, to}
+		if !seen[k] {
+			seen[k] = true
+			local = append(local, factEdge{From: from, To: to, Pos: pass.Fset.Position(pos).String()})
+			localPos[k] = pos
+		}
+	}
+	for _, fn := range fns.All {
+		for _, ev := range events[fn] {
+			if ev.acquire != "" {
+				// A violating acquisition is reported (or deliberately
+				// lock-ok'd) right here; its inverted edge must not
+				// also close a cycle in the graph.
+				if !checkAcquire(pass, ranks, suppressed, ev.acquire, ev.held, ev.pos, "") {
+					for _, from := range heldKeys(ev.held) {
+						addEdge(from, ev.acquire, ev.pos)
+					}
+				}
+				continue
+			}
+			if len(ev.held) == 0 || ev.callee == nil {
+				continue
+			}
+			for _, to := range calleeAcquires(pass, trans, ev.callee) {
+				if !checkAcquire(pass, ranks, suppressed, to, ev.held, ev.pos, ev.callee.Name()) {
+					for _, from := range heldKeys(ev.held) {
+						addEdge(from, to, ev.pos)
+					}
+				}
+			}
+		}
+	}
+	if len(local) > 0 {
+		pass.ExportPackageFact(&edgesFact{Edges: local})
+	}
+
+	reportCycles(pass, local, localPos)
+	return nil, nil
+}
+
+func heldKeys(s lockset) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// collectRanks scans struct fields and package-level vars for
+// //tafloc:lock-order annotations.
+func collectRanks(pass *analysis.Pass) map[string]int {
+	ranks := make(map[string]int)
+	record := func(doc, line *ast.CommentGroup, key string, at token.Pos) {
+		cg := doc
+		if !tags.Marked(cg, tags.LockOrder) {
+			cg = line
+		}
+		if !tags.Marked(cg, tags.LockOrder) {
+			return
+		}
+		arg := tags.MarkerArg(cg, tags.LockOrder)
+		r, err := strconv.Atoi(arg)
+		if err != nil {
+			pass.Reportf(at, "malformed //tafloc:lock-order on %s: %q is not an integer rank", key, arg)
+			return
+		}
+		ranks[key] = r
+	}
+	for _, file := range pass.Files {
+		if tags.SkipFile(file) || tags.TestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch spec := spec.(type) {
+				case *ast.TypeSpec:
+					st, ok := spec.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						for _, name := range field.Names {
+							key := ssaflow.FieldKey(pass.Pkg.Path(), spec.Name.Name, name.Name)
+							record(field.Doc, field.Comment, key, field.Pos())
+						}
+					}
+				case *ast.ValueSpec:
+					if gd.Tok != token.VAR {
+						continue
+					}
+					doc := spec.Doc
+					if doc == nil && len(gd.Specs) == 1 {
+						doc = gd.Doc
+					}
+					for _, name := range spec.Names {
+						key := pass.Pkg.Path() + "." + name.Name
+						record(doc, spec.Comment, key, spec.Pos())
+					}
+				}
+			}
+		}
+	}
+	return ranks
+}
+
+// analyzeFn runs the may-held lockset fixpoint over one function and
+// returns its acquisition and call events with before-states.
+func analyzeFn(pass *analysis.Pass, fn *ssaflow.Fn) []event {
+	df := ssaflow.Dataflow[lockset]{
+		Clone: func(s lockset) lockset {
+			c := make(lockset, len(s))
+			for k, v := range s {
+				c[k] = v
+			}
+			return c
+		},
+		MergeInto: func(dst, src lockset) bool {
+			changed := false
+			for k, v := range src {
+				if _, ok := dst[k]; !ok {
+					dst[k] = v
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(n ast.Node, s lockset) lockset {
+			step(pass, n, s, nil)
+			return s
+		},
+	}
+	states, seen := df.Run(fn.CFG, lockset{})
+	var events []event
+	df.Walk(fn.CFG, states, seen, func(n ast.Node, before lockset) {
+		held := df.Clone(before)
+		step(pass, n, held, func(ev event) { events = append(events, ev) })
+	})
+	return events
+}
+
+// step interprets one CFG node against the lockset, emitting events if
+// emit is non-nil. It must be deterministic and monotone: Lock adds,
+// Unlock removes, deferred Unlock is ignored (the lock stays held to
+// function exit for ordering purposes).
+func step(pass *analysis.Pass, n ast.Node, held lockset, emit func(event)) {
+	// Calls behind defer/go do not execute here: no call events, and a
+	// deferred Unlock must not release the lock mid-function.
+	skip := make(map[*ast.CallExpr]bool)
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.DeferStmt:
+			skip[m.Call] = true
+		case *ast.GoStmt:
+			skip[m.Call] = true
+		}
+		return true
+	})
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false // literal bodies are separate roots
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := ssaflow.StaticCallee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		if kind := lockMethod(callee); kind != opNone {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			_, class, ok := ssaflow.ResolveClass(pass.TypesInfo, pass.Fset, sel.X)
+			if !ok {
+				return true
+			}
+			switch kind {
+			case opAcquire:
+				if !skip[call] {
+					if emit != nil {
+						emit(event{acquire: class, held: cloneSet(held), pos: call.Pos()})
+					}
+					if _, ok := held[class]; !ok {
+						held[class] = call.Pos()
+					}
+				}
+			case opRelease:
+				if !skip[call] {
+					delete(held, class)
+				}
+			}
+			return true
+		}
+		if !skip[call] && emit != nil {
+			emit(event{callee: callee, held: cloneSet(held), pos: call.Pos()})
+		}
+		return true
+	})
+}
+
+func cloneSet(s lockset) lockset {
+	c := make(lockset, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opAcquire
+	opRelease
+)
+
+func lockMethod(fn *types.Func) lockOp {
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.Mutex).TryLock",
+		"(*sync.RWMutex).Lock", "(*sync.RWMutex).TryLock",
+		"(*sync.RWMutex).RLock", "(*sync.RWMutex).TryRLock":
+		return opAcquire
+	case "(*sync.Mutex).Unlock",
+		"(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		return opRelease
+	}
+	return opNone
+}
+
+// summaries computes, for every declared function, the set of lock
+// classes it acquires transitively through static calls (a fixpoint
+// over the package-local call graph, seeded with imported facts for
+// out-of-package callees).
+func summaries(pass *analysis.Pass, fns *ssaflow.Funcs, events map[*ssaflow.Fn][]event) map[*types.Func]map[string]bool {
+	direct := make(map[*types.Func]map[string]bool)
+	callees := make(map[*types.Func][]*types.Func)
+	for _, fn := range fns.All {
+		if fn.Obj == nil {
+			continue
+		}
+		acq := make(map[string]bool)
+		for _, ev := range events[fn] {
+			if ev.acquire != "" {
+				acq[ev.acquire] = true
+			} else if ev.callee != nil {
+				callees[fn.Obj] = append(callees[fn.Obj], ev.callee)
+			}
+		}
+		direct[fn.Obj] = acq
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, acq := range direct {
+			for _, c := range callees[obj] {
+				var from []string
+				if sub, ok := direct[c]; ok {
+					from = sortedKeys(sub)
+				} else {
+					var f acquiresFact
+					if pass.ImportObjectFact(c, &f) {
+						from = f.Classes
+					}
+				}
+				for _, k := range from {
+					if !acq[k] {
+						acq[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return direct
+}
+
+func calleeAcquires(pass *analysis.Pass, trans map[*types.Func]map[string]bool, callee *types.Func) []string {
+	if sub, ok := trans[callee]; ok {
+		return sortedKeys(sub)
+	}
+	var f acquiresFact
+	if pass.ImportObjectFact(callee, &f) {
+		return f.Classes
+	}
+	return nil
+}
+
+// checkAcquire reports order violations for one acquisition (direct,
+// or transitive through the named callee) against the held set. It
+// returns true when the acquisition violates the order, whether
+// reported or suppressed with //tafloc:lock-ok — either way the edge
+// must not feed the cycle graph.
+func checkAcquire(pass *analysis.Pass, ranks map[string]int, suppressed map[string]map[int]bool, class string, held lockset, pos token.Pos, via string) bool {
+	if len(held) == 0 {
+		return false
+	}
+	p := pass.Fset.Position(pos)
+	ok2report := !suppressed[p.Filename][p.Line]
+	viaMsg := ""
+	if via != "" {
+		viaMsg = fmt.Sprintf("call to %s ", via)
+	}
+	if _, already := held[class]; already {
+		if ok2report {
+			pass.Reportf(pos, "%sacquires %s while a %s is already held: same-class nesting has no declared instance order (see docs/INVARIANTS.md)",
+				viaMsg, short(class), short(class))
+		}
+		return true
+	}
+	nr, ok := ranks[class]
+	if !ok {
+		return false
+	}
+	for _, h := range heldKeys(held) {
+		hr, ok := ranks[h]
+		if !ok {
+			continue
+		}
+		if nr <= hr {
+			if ok2report {
+				pass.Reportf(pos, "%sacquires %s (rank %d) while holding %s (rank %d): the canonical order in docs/INVARIANTS.md requires %s before %s",
+					viaMsg, short(class), nr, short(h), hr, short(class), short(h))
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// reportCycles finds strongly connected components in the
+// whole-program acquisition graph (local edges plus every transitive
+// import's exported edges) and reports each cycle that a local edge
+// participates in — the package that closes a cycle reports it once.
+func reportCycles(pass *analysis.Pass, local []factEdge, localPos map[[2]string]token.Pos) {
+	type edge struct{ from, to string }
+	adj := make(map[string][]string)
+	add := func(e factEdge) {
+		if e.From != e.To { // self-loops are reported as same-class nesting
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+	}
+	for _, e := range local {
+		add(e)
+	}
+	for _, imp := range allImports(pass.Pkg) {
+		var ef edgesFact
+		if pass.ImportPackageFact(imp, &ef) {
+			for _, e := range ef.Edges {
+				add(e)
+			}
+		}
+	}
+	sccs := tarjan(adj)
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		in := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			in[n] = true
+		}
+		for _, e := range local {
+			if in[e.From] && in[e.To] && e.From != e.To {
+				names := make([]string, len(scc))
+				for i, n := range scc {
+					names[i] = short(n)
+				}
+				sort.Strings(names)
+				pass.Reportf(localPos[[2]string{e.From, e.To}],
+					"lock-order cycle among {%s}: this %s -> %s edge closes it (see docs/INVARIANTS.md)",
+					strings.Join(names, ", "), short(e.From), short(e.To))
+				break
+			}
+		}
+	}
+}
+
+// tarjan returns the strongly connected components of the graph.
+func tarjan(adj map[string][]string) [][]string {
+	var (
+		index   = make(map[string]int)
+		low     = make(map[string]int)
+		onStack = make(map[string]bool)
+		stack   []string
+		counter int
+		sccs    [][]string
+	)
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}
+
+// short trims the module path prefix from a class key for messages:
+// "tafloc/internal/serve.zone.resMu" -> "serve.zone.resMu".
+func short(class string) string {
+	if i := strings.LastIndex(class, "/"); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}
+
+func suppressedLines(pass *analysis.Pass) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, f := range pass.Files {
+		if lines := tags.SuppressedLines(pass.Fset, f, tags.LockOK); lines != nil {
+			out[pass.Fset.Position(f.Pos()).Filename] = lines
+		}
+	}
+	return out
+}
+
+func allImports(pkg *types.Package) []*types.Package {
+	var out []*types.Package
+	seen := map[*types.Package]bool{pkg: true}
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		for _, imp := range p.Imports() {
+			if !seen[imp] {
+				seen[imp] = true
+				out = append(out, imp)
+				visit(imp)
+			}
+		}
+	}
+	visit(pkg)
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

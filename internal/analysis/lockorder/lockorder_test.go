@@ -1,0 +1,11 @@
+package lockorder
+
+import (
+	"testing"
+
+	"tafloc/internal/analysis/vettest"
+)
+
+func TestLockorder(t *testing.T) {
+	vettest.Run(t, "testdata", Analyzer, "a", "b", "inv", "cyc")
+}

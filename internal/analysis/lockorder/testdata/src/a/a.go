@@ -1,0 +1,82 @@
+// Package a exercises the intra-package lockorder rules: rank
+// inversions, same-class nesting, release tracking, interprocedural
+// summaries, goroutine isolation, suppression, and malformed ranks.
+package a
+
+import "sync"
+
+type Z struct {
+	// Mu is the coarse state lock.
+	//tafloc:lock-order 10 coarse state lock
+	Mu sync.Mutex
+	// ResMu guards residency transitions.
+	//tafloc:lock-order 20 residency lock
+	ResMu sync.Mutex
+	// TrackMu guards counters.
+	//tafloc:lock-order 40 tracking lock
+	TrackMu sync.Mutex
+}
+
+func ok(z *Z) {
+	z.Mu.Lock()
+	z.ResMu.Lock()
+	z.TrackMu.Lock()
+	z.TrackMu.Unlock()
+	z.ResMu.Unlock()
+	z.Mu.Unlock()
+}
+
+func inverted(z *Z) {
+	z.ResMu.Lock()
+	defer z.ResMu.Unlock()
+	z.Mu.Lock() // want `acquires a\.Z\.Mu \(rank 10\) while holding a\.Z\.ResMu \(rank 20\)`
+	z.Mu.Unlock()
+}
+
+func sequentialIsFine(z *Z) {
+	z.ResMu.Lock()
+	z.ResMu.Unlock()
+	z.Mu.Lock() // released first, so no inversion
+	z.Mu.Unlock()
+}
+
+func sameClass(z1, z2 *Z) {
+	z1.Mu.Lock()
+	defer z1.Mu.Unlock()
+	z2.Mu.Lock() // want `acquires a\.Z\.Mu while a a\.Z\.Mu is already held`
+	z2.Mu.Unlock()
+}
+
+func sameClassSuppressed(z1, z2 *Z) {
+	z1.Mu.Lock()
+	defer z1.Mu.Unlock()
+	z2.Mu.Lock() //tafloc:lock-ok migration handoff: epoch fixes the instance order
+	z2.Mu.Unlock()
+}
+
+// LockRes is called cross-package by fixture b to exercise fact
+// import of transitive acquisitions.
+func LockRes(z *Z) {
+	z.ResMu.Lock()
+	z.ResMu.Unlock()
+}
+
+func viaCall(z *Z) {
+	z.TrackMu.Lock()
+	defer z.TrackMu.Unlock()
+	LockRes(z) // want `call to LockRes acquires a\.Z\.ResMu \(rank 20\) while holding a\.Z\.TrackMu \(rank 40\)`
+}
+
+func spawns(z *Z) {
+	z.ResMu.Lock()
+	defer z.ResMu.Unlock()
+	go func() {
+		z.Mu.Lock() // fresh goroutine: empty entry lockset, no inversion
+		z.Mu.Unlock()
+	}()
+}
+
+type Bad struct {
+	//tafloc:lock-order soon
+	M sync.Mutex // want `malformed //tafloc:lock-order on a\.Bad\.M: "soon" is not an integer rank`
+}

@@ -1,0 +1,36 @@
+// Package b exercises the cross-package rules: ranks and transitive
+// acquisition summaries imported as facts from package a.
+package b
+
+import (
+	"sync"
+
+	"a"
+)
+
+type S struct {
+	// Mu orders before every lock in package a.
+	//tafloc:lock-order 5 service lock
+	Mu sync.Mutex
+	Z  *a.Z
+}
+
+func ok(s *S) {
+	s.Mu.Lock()
+	s.Z.Mu.Lock()
+	s.Z.Mu.Unlock()
+	s.Mu.Unlock()
+}
+
+func inverted(s *S) {
+	s.Z.ResMu.Lock()
+	defer s.Z.ResMu.Unlock()
+	s.Mu.Lock() // want `acquires b\.S\.Mu \(rank 5\) while holding a\.Z\.ResMu \(rank 20\)`
+	s.Mu.Unlock()
+}
+
+func viaImportedFact(s *S) {
+	s.Z.TrackMu.Lock()
+	defer s.Z.TrackMu.Unlock()
+	a.LockRes(s.Z) // want `call to LockRes acquires a\.Z\.ResMu \(rank 20\) while holding a\.Z\.TrackMu \(rank 40\)`
+}

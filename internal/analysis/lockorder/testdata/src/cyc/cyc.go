@@ -1,0 +1,25 @@
+// Package cyc exercises whole-program cycle detection over unranked
+// mutexes: A->B in one function and B->A in another is a deadlockable
+// cycle even though neither edge violates a declared rank.
+package cyc
+
+import "sync"
+
+type P struct {
+	A sync.Mutex
+	B sync.Mutex
+}
+
+func ab(p *P) {
+	p.A.Lock()
+	p.B.Lock() // want `lock-order cycle among \{cyc\.P\.A, cyc\.P\.B\}`
+	p.B.Unlock()
+	p.A.Unlock()
+}
+
+func ba(p *P) {
+	p.B.Lock()
+	p.A.Lock()
+	p.A.Unlock()
+	p.B.Unlock()
+}

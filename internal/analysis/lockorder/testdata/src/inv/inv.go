@@ -1,0 +1,33 @@
+// Package inv pins the ISSUE 9 acceptance case: a fixture that
+// inverts the Service.mu -> zone.resMu order documented in
+// docs/INVARIANTS.md must be rejected.
+package inv
+
+import "sync"
+
+type Service struct {
+	// mu guards the zone registry.
+	//tafloc:lock-order 10 service registry lock
+	mu sync.RWMutex
+	z  *zone
+}
+
+type zone struct {
+	// resMu guards residency transitions.
+	//tafloc:lock-order 20 zone residency lock
+	resMu sync.Mutex
+}
+
+func okOrder(s *Service) {
+	s.mu.RLock()
+	s.z.resMu.Lock()
+	s.z.resMu.Unlock()
+	s.mu.RUnlock()
+}
+
+func invertedOrder(s *Service) {
+	s.z.resMu.Lock()
+	defer s.z.resMu.Unlock()
+	s.mu.Lock() // want `acquires inv\.Service\.mu \(rank 10\) while holding inv\.zone\.resMu \(rank 20\)`
+	s.mu.Unlock()
+}

@@ -1,0 +1,11 @@
+// Package selftest is the harness's own fixture: its // want comments
+// are deliberately wrong, and vettest's test asserts the failure output
+// (one error per site plus the diff-style summary) rather than the
+// analyzer's behavior.
+package selftest
+
+func Matched() {} // want `function declared: Matched`
+
+func WrongWant() {} // want `this expectation matches nothing`
+
+func NoWant() {}

@@ -13,10 +13,22 @@
 //
 // where each string is a regular expression that must match one
 // diagnostic reported on that line; diagnostics with no matching want,
-// and wants with no matching diagnostic, fail the test.
+// and wants with no matching diagnostic, fail the test with a
+// diff-style summary (missing expectations prefixed "-", unexpected
+// diagnostics prefixed "+").
+//
+// Facts are supported modularly, the way the unitchecker driver does
+// it: before an analyzer runs on a fixture package, it first runs on
+// that package's fixture imports (recursively), and every exported
+// fact crosses the package boundary through a gob encode/decode round
+// trip — a fact that is not gob-serializable fails the test exactly as
+// it would fail `go vet`. Diagnostics reported on dependency packages
+// are checked only when that package is itself named in the Run call.
 package vettest
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -25,63 +37,201 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
-	"testing"
 
 	"golang.org/x/tools/go/analysis"
 )
 
+// T is the testing surface the harness reports through — the subset of
+// *testing.T it needs. The harness's own tests substitute a recorder to
+// pin the failure output.
+type T interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
 // Run loads each fixture package under testdata/src and applies the
-// analyzer, comparing diagnostics with the // want comments.
-func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+// analyzer, comparing diagnostics with the // want comments. Fixture
+// packages imported by a named package are analyzed first so the
+// analyzer's facts are available, mirroring modular `go vet` runs.
+func Run(t T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
-	l := newLoader(filepath.Join(testdata, "src"))
+	d := &driver{
+		l:       newLoader(filepath.Join(testdata, "src")),
+		results: make(map[runKey]any),
+		diags:   make(map[runKey][]analysis.Diagnostic),
+		done:    make(map[runKey]bool),
+		objjar:  make(map[factKey][]byte),
+		pkgjar:  make(map[factKey][]byte),
+	}
 	for _, path := range pkgpaths {
-		pi, err := l.load(path)
+		pi, err := d.l.load(path)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		diags, err := run(a, l.fset, pi, make(map[*analysis.Analyzer]any))
-		if err != nil {
+		if err := d.analyze(a, pi); err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}
-		checkWants(t, l.fset, pi, diags)
+		checkWants(t, d.l.fset, pi, d.diags[runKey{a, pi.pkg}])
 	}
 }
 
-// run executes the analyzer and (recursively) its Requires on one
-// loaded package, memoizing dependency results. Fact plumbing is not
-// implemented: the taflocvet suite declares no FactTypes.
-func run(a *analysis.Analyzer, fset *token.FileSet, pi *pkgInfo, results map[*analysis.Analyzer]any) ([]analysis.Diagnostic, error) {
-	resultOf := make(map[*analysis.Analyzer]any)
-	for _, dep := range a.Requires {
-		if _, ok := results[dep]; !ok {
-			if _, err := run(dep, fset, pi, results); err != nil {
-				return nil, fmt.Errorf("dependency %s: %w", dep.Name, err)
+// runKey memoizes one (analyzer, package) execution.
+type runKey struct {
+	a   *analysis.Analyzer
+	pkg *types.Package
+}
+
+// factKey addresses one fact: the analyzer that owns it, the object (or
+// package) it decorates, and the concrete fact type.
+type factKey struct {
+	a   *analysis.Analyzer
+	key any // types.Object or *types.Package
+	t   reflect.Type
+}
+
+// driver runs analyzers over fixture packages in dependency order,
+// carrying facts across package boundaries through a gob jar.
+type driver struct {
+	l       *loader
+	results map[runKey]any
+	diags   map[runKey][]analysis.Diagnostic
+	done    map[runKey]bool
+	objjar  map[factKey][]byte // gob-encoded object facts
+	pkgjar  map[factKey][]byte // gob-encoded package facts
+}
+
+// analyze runs a (and, recursively, its Requires and its runs on
+// imported fixture packages) on one loaded package, memoized.
+func (d *driver) analyze(a *analysis.Analyzer, pi *pkgInfo) error {
+	k := runKey{a, pi.pkg}
+	if d.done[k] {
+		return nil
+	}
+	d.done[k] = true
+	// Horizontal dependencies: the same analyzer over every fixture
+	// import, so ImportObjectFact sees the facts a modular driver would
+	// have read from the dependency's .a file.
+	if len(a.FactTypes) > 0 {
+		for _, dep := range pi.fixtureImports {
+			dpi, err := d.l.load(dep)
+			if err != nil {
+				return fmt.Errorf("loading dependency %s: %w", dep, err)
+			}
+			if err := d.analyze(a, dpi); err != nil {
+				return err
 			}
 		}
-		resultOf[dep] = results[dep]
+	}
+	// Vertical dependencies: the analyzers a Requires, on this package.
+	resultOf := make(map[*analysis.Analyzer]any)
+	for _, req := range a.Requires {
+		if err := d.analyze(req, pi); err != nil {
+			return fmt.Errorf("dependency %s: %w", req.Name, err)
+		}
+		resultOf[req] = d.results[runKey{req, pi.pkg}]
+	}
+
+	factTypes := make(map[reflect.Type]bool)
+	for _, f := range a.FactTypes {
+		factTypes[reflect.TypeOf(f)] = true
 	}
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
 		Analyzer:   a,
-		Fset:       fset,
+		Fset:       d.l.fset,
 		Files:      pi.files,
 		Pkg:        pi.pkg,
 		TypesInfo:  pi.info,
 		TypesSizes: types.SizesFor("gc", "amd64"),
 		ResultOf:   resultOf,
-		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Report:     func(diag analysis.Diagnostic) { diags = append(diags, diag) },
+
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			d.export(a, factTypes, d.objjar, obj, fact)
+		},
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			return d.lookup(a, d.objjar, obj, fact)
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			d.export(a, factTypes, d.pkgjar, pi.pkg, fact)
+		},
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+			return d.lookup(a, d.pkgjar, pkg, fact)
+		},
+		AllObjectFacts: func() []analysis.ObjectFact {
+			var out []analysis.ObjectFact
+			for k, enc := range d.objjar {
+				if k.a != a {
+					continue
+				}
+				fact := reflect.New(k.t.Elem()).Interface().(analysis.Fact)
+				decode(enc, fact)
+				out = append(out, analysis.ObjectFact{Object: k.key.(types.Object), Fact: fact})
+			}
+			return out
+		},
+		AllPackageFacts: func() []analysis.PackageFact {
+			var out []analysis.PackageFact
+			for k, enc := range d.pkgjar {
+				if k.a != a {
+					continue
+				}
+				fact := reflect.New(k.t.Elem()).Interface().(analysis.Fact)
+				decode(enc, fact)
+				out = append(out, analysis.PackageFact{Package: k.key.(*types.Package), Fact: fact})
+			}
+			return out
+		},
 	}
 	res, err := a.Run(pass)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	results[a] = res
-	return diags, nil
+	if a.ResultType != nil && res != nil && reflect.TypeOf(res) != a.ResultType {
+		return fmt.Errorf("analyzer %s returned %T, declared %v", a.Name, res, a.ResultType)
+	}
+	d.results[k] = res
+	d.diags[k] = diags
+	return nil
+}
+
+// export serializes a fact into the jar. The gob round trip is the
+// point: it enforces exactly the serializability contract modular
+// drivers (unitchecker, go vet) enforce, so a fixture run fails on an
+// unencodable fact before CI does.
+func (d *driver) export(a *analysis.Analyzer, declared map[reflect.Type]bool, jar map[factKey][]byte, key any, fact analysis.Fact) {
+	t := reflect.TypeOf(fact)
+	if !declared[t] {
+		panic(fmt.Sprintf("analyzer %s exported undeclared fact type %T", a.Name, fact))
+	}
+	var buf bytes.Buffer
+	gob.Register(fact)
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		panic(fmt.Sprintf("analyzer %s: fact %T is not gob-serializable: %v", a.Name, fact, err))
+	}
+	jar[factKey{a, key, t}] = buf.Bytes()
+}
+
+func (d *driver) lookup(a *analysis.Analyzer, jar map[factKey][]byte, key any, fact analysis.Fact) bool {
+	enc, ok := jar[factKey{a, key, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	decode(enc, fact)
+	return true
+}
+
+func decode(enc []byte, fact analysis.Fact) {
+	gob.Register(fact)
+	if err := gob.NewDecoder(bytes.NewReader(enc)).Decode(fact); err != nil {
+		panic(fmt.Sprintf("decoding fact %T: %v", fact, err))
+	}
 }
 
 // loader resolves import paths to fixture directories first and the
@@ -94,9 +244,10 @@ type loader struct {
 }
 
 type pkgInfo struct {
-	pkg   *types.Package
-	files []*ast.File
-	info  *types.Info
+	pkg            *types.Package
+	files          []*ast.File
+	info           *types.Info
+	fixtureImports []string // import paths resolved inside testdata/src
 }
 
 func newLoader(srcdir string) *loader {
@@ -142,12 +293,22 @@ func (l *loader) load(path string) (*pkgInfo, error) {
 		return nil, fmt.Errorf("no .go files in %s", dir)
 	}
 	var files []*ast.File
+	var fixtureImports []string
 	for _, name := range names {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if isDir(filepath.Join(l.srcdir, p)) && !contains(fixtureImports, p) {
+				fixtureImports = append(fixtureImports, p)
+			}
+		}
 	}
 	info := &types.Info{
 		Types:        make(map[ast.Expr]types.TypeAndValue),
@@ -164,9 +325,18 @@ func (l *loader) load(path string) (*pkgInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	pi := &pkgInfo{pkg: pkg, files: files, info: info}
+	pi := &pkgInfo{pkg: pkg, files: files, info: info, fixtureImports: fixtureImports}
 	l.pkgs[path] = pi
 	return pi, nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 func isDir(path string) bool {
@@ -178,9 +348,11 @@ var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
 var wantArgRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
 
 // checkWants cross-checks diagnostics against the fixture's // want
-// comments, failing the test on both unexpected diagnostics and
-// unsatisfied expectations.
-func checkWants(t *testing.T, fset *token.FileSet, pi *pkgInfo, diags []analysis.Diagnostic) {
+// comments. Mismatches fail the test twice over: one error per site
+// (so the failing line is one click away), plus a diff-style summary —
+// "-" lines are expectations nothing matched, "+" lines are
+// diagnostics nothing expected — so a drifted fixture reads as a patch.
+func checkWants(t T, fset *token.FileSet, pi *pkgInfo, diags []analysis.Diagnostic) {
 	t.Helper()
 	type key struct {
 		file string
@@ -214,6 +386,7 @@ func checkWants(t *testing.T, fset *token.FileSet, pi *pkgInfo, diags []analysis
 		}
 	}
 
+	var diff []string
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		k := key{pos.Filename, pos.Line}
@@ -227,6 +400,7 @@ func checkWants(t *testing.T, fset *token.FileSet, pi *pkgInfo, diags []analysis
 		}
 		if !matched {
 			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			diff = append(diff, fmt.Sprintf("+ %s: %s", pos, d.Message))
 		}
 	}
 	var keys []key
@@ -244,6 +418,12 @@ func checkWants(t *testing.T, fset *token.FileSet, pi *pkgInfo, diags []analysis
 	for _, k := range keys {
 		for _, rx := range wants[k] {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, rx)
+			diff = append(diff, fmt.Sprintf("- %s:%d: %s", k.file, k.line, rx))
 		}
+	}
+	if len(diff) > 0 {
+		sort.Strings(diff)
+		t.Errorf("%s: diagnostics differ from // want expectations (-missing +unexpected):\n%s",
+			pi.pkg.Path(), strings.Join(diff, "\n"))
 	}
 }

@@ -1,0 +1,95 @@
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// recorder substitutes *testing.T so the harness's failure output can
+// itself be asserted.
+type recorder struct {
+	errors []string
+	fatal  string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatal = fmt.Sprintf(format, args...)
+	panic(r) // Fatalf must not return; the test recovers
+}
+
+// declNoter deterministically reports every function declaration, so
+// the selftest fixture's wrong expectations produce a known mismatch.
+var declNoter = &analysis.Analyzer{
+	Name: "declnoter",
+	Doc:  "reports every function declaration (harness self-test only)",
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "function declared: %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+// TestWrongWantsFailWithDiff pins the harness's contract: a fixture
+// whose // want comments disagree with the diagnostics must fail, and
+// the failure must include the diff-style summary ("-" for unmatched
+// expectations, "+" for unexpected diagnostics) alongside the per-site
+// errors.
+func TestWrongWantsFailWithDiff(t *testing.T) {
+	r := &recorder{}
+	func() {
+		defer func() {
+			if p := recover(); p != nil && p != any(r) {
+				panic(p)
+			}
+		}()
+		Run(r, "testdata", declNoter, "selftest")
+	}()
+
+	if r.fatal != "" {
+		t.Fatalf("harness aborted instead of reporting mismatches: %s", r.fatal)
+	}
+	if len(r.errors) == 0 {
+		t.Fatal("wrong // want expectations did not fail the run")
+	}
+	joined := strings.Join(r.errors, "\n")
+
+	// The matched site must not be in the diff.
+	if strings.Contains(joined, "Matched") {
+		t.Errorf("correctly-matched expectation reported as a mismatch:\n%s", joined)
+	}
+	// The stale expectation surfaces as a "-" line; the two uncovered
+	// diagnostics (WrongWant's real message and NoWant's) as "+" lines.
+	for _, want := range []string{
+		"diagnostics differ from // want expectations (-missing +unexpected)",
+		"- ",
+		"this expectation matches nothing",
+		"+ ",
+		"function declared: WrongWant",
+		"function declared: NoWant",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("failure output missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestSelfTestFixtureTypechecks guards the fixture itself: a broken
+// fixture would make the self-test vacuous by failing before checkWants.
+func TestSelfTestFixtureTypechecks(t *testing.T) {
+	if _, err := newLoader("testdata/src").load("selftest"); err != nil {
+		t.Fatalf("selftest fixture does not load: %v", err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package a mimics the serve layer: HTTP and JSON sources flowing
+// toward core sinks, with and without sanitization.
+package a
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"core"
+)
+
+type reportReq struct {
+	Link int
+	Vals []float64
+}
+
+func handlerDirect(w http.ResponseWriter, r *http.Request, m *core.Model) {
+	q := r.URL.Query().Get("n")
+	n, _ := strconv.Atoi(q)
+	_ = m.At(n) // want `wire-tainted value reaches call to At \(parameter 0 is index-sensitive\)`
+}
+
+func handlerFree(w http.ResponseWriter, r *http.Request, xs []float64) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	_ = core.Get(xs, n) // want `wire-tainted value reaches call to Get \(parameter 1 is index-sensitive\)`
+}
+
+func handlerChecked(w http.ResponseWriter, r *http.Request, xs []float64) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	if n < 0 || n >= len(xs) {
+		return
+	}
+	_ = xs[n] // sanitized by the comparison above
+}
+
+func handlerJSON(w http.ResponseWriter, r *http.Request, xs []float64) {
+	var req reportReq
+	_ = json.NewDecoder(r.Body).Decode(&req)
+	_ = xs[req.Link] // want `wire-tainted value reaches slice indexing`
+}
+
+func handlerSanitizer(w http.ResponseWriter, r *http.Request, xs []float64) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	_ = core.Restore(xs, n) // //tafloc:validates callee: fine
+}
+
+func handlerCheckedCallee(w http.ResponseWriter, r *http.Request, xs []float64) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	_ = core.Checked(xs, n) // callee validates internally: not sensitive
+}
+
+func handlerSlice(w http.ResponseWriter, r *http.Request, xs []float64) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	_ = xs[:n] // want `wire-tainted value reaches slice bounds`
+}
+
+func suppressed(w http.ResponseWriter, r *http.Request, xs []float64) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	_ = xs[n&7] //tafloc:taint-ok masked to the ring size, which is a power of two
+}
+
+type frame struct {
+	Link uint16
+}
+
+// DecodeFromBytes mimics the wire decoder idiom: it fills the
+// receiver from raw bytes (name matched by -wiretaint.decoders).
+func (f *frame) DecodeFromBytes(b []byte) error {
+	if len(b) < 2 {
+		return nil
+	}
+	f.Link = uint16(b[0])<<8 | uint16(b[1])
+	return nil
+}
+
+func ingestWire(b []byte, xs []float64) {
+	var f frame
+	_ = f.DecodeFromBytes(b)
+	_ = xs[int(f.Link)] // want `wire-tainted value reaches slice indexing`
+}
+
+func ingestWireChecked(b []byte, xs []float64) {
+	var f frame
+	_ = f.DecodeFromBytes(b)
+	n := int(f.Link)
+	if n >= len(xs) {
+		return
+	}
+	_ = xs[n] // sanitized
+}

@@ -1,0 +1,45 @@
+// Package core mimics the model layer: indexing sinks reached through
+// calls, a self-validating callee, and a //tafloc:validates sanitizer.
+package core
+
+type Model struct {
+	win []float64
+}
+
+// At indexes without validating: callers own the bounds check, so the
+// first parameter is index-sensitive.
+func (m *Model) At(i int) float64 {
+	return m.win[i]
+}
+
+// Get is a free function with an index-sensitive second parameter.
+func Get(xs []float64, i int) float64 {
+	return xs[i]
+}
+
+// Checked validates before indexing: the comparison sanitizes i, so
+// no parameter is index-sensitive.
+func Checked(xs []float64, i int) float64 {
+	if i < 0 || i >= len(xs) {
+		return 0
+	}
+	return xs[i]
+}
+
+// Restore is the fail-closed decoder idiom: everything it is handed
+// is clamped before any indexing.
+//
+//tafloc:validates clamps every index before use
+func Restore(xs []float64, i int) float64 {
+	return xs[clamp(i, len(xs))]
+}
+
+func clamp(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

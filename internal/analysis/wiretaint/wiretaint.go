@@ -1,0 +1,640 @@
+// Package wiretaint tracks untrusted wire input from its sources to
+// indexing sinks. Sources are HTTP request state (*net/http.Request
+// parameters, url.Values reads, request bodies), encoding/json and
+// encoding/gob decode outputs, and the internal/wire frame decoders
+// (method names configured with -wiretaint.decoders). Sinks are slice
+// and matrix indexing and slice-bound expressions — in internal/core
+// reached through calls, or anywhere a source-tainted value is used
+// as an index directly. A flow must pass through a sanitizer first: a
+// relational or equality comparison of the value (the link-bounds
+// check idiom), or a call to a function marked //tafloc:validates.
+//
+// The analysis is a flow-sensitive bitmask taint over each function's
+// CFG (via ssaflow): bit i marks "derived from parameter i", the top
+// bit marks "derived from a wire source". Per-function summaries
+// ("parameter i reaches an indexing sink") iterate to a fixpoint over
+// the package call graph and travel cross-package as object facts, so
+// serve handing a decoded link ID to core is checked end to end
+// without core knowing about HTTP.
+//
+// Known approximations, documented in docs/INVARIANTS.md: taint is
+// field-insensitive (a struct decoded from the wire taints all its
+// fields; comparing any part of it sanitizes the whole root object);
+// call results inherit the union of argument taints (safe
+// over-approximation); captured variables in closures are not tracked
+// across the closure boundary. "//tafloc:taint-ok <why>" suppresses
+// one sink diagnostic.
+package wiretaint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"tafloc/internal/analysis/ssaflow"
+	"tafloc/internal/analysis/tags"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "wiretaint",
+	Doc:      "wire-tainted values must pass a //tafloc:validates bounds check before reaching indexing",
+	Requires: []*analysis.Analyzer{ssaflow.Analyzer},
+	Run:      run,
+	FactTypes: []analysis.Fact{
+		(*sensitiveFact)(nil),
+		(*sanitizerFact)(nil),
+	},
+}
+
+// decoders lists method names whose call taints the receiver and
+// result (the wire-frame decode idiom).
+var decoders = "DecodeFromBytes,DecodeBatch"
+
+// sinkpkgs limits which callees' index-sensitivity summaries count as
+// call sinks. `go vet` analyzes the whole dependency graph, so facts
+// get computed for the standard library too — and fmt.Sprintf or
+// encoding/json.Unmarshal indexing their own inputs is their job, not
+// a bounds hazard in ours. Direct indexing sinks are always checked.
+var sinkpkgs = "tafloc"
+
+func init() {
+	Analyzer.Flags.StringVar(&decoders, "decoders", decoders,
+		"comma-separated method names that decode wire bytes into their receiver/result")
+	Analyzer.Flags.StringVar(&sinkpkgs, "sinkpkgs", sinkpkgs,
+		"comma-separated package-path prefixes whose index-sensitive functions count as call sinks (empty = all)")
+}
+
+// sensitiveFact marks a function whose listed parameters flow to an
+// indexing sink without sanitization (0 = first parameter; the
+// receiver is not tracked).
+type sensitiveFact struct{ Params []int }
+
+func (*sensitiveFact) AFact() {}
+func (f *sensitiveFact) String() string {
+	return fmt.Sprintf("indexSensitive(%v)", f.Params)
+}
+
+// sanitizerFact marks a //tafloc:validates function: calls to it
+// clean their arguments and return clean results.
+type sanitizerFact struct{}
+
+func (*sanitizerFact) AFact()         {}
+func (*sanitizerFact) String() string { return "validates" }
+
+const srcBit uint64 = 1 << 63
+
+// state maps objects to taint marks: bit i = derived from param i,
+// srcBit = derived from a wire source.
+type state map[types.Object]uint64
+
+type checker struct {
+	pass       *analysis.Pass
+	fns        *ssaflow.Funcs
+	sensitive  map[*types.Func][]int // package-local summaries (fixpoint)
+	sanitizers map[*types.Func]bool  // package-local //tafloc:validates
+	decoders   map[string]bool
+	sinkPfx    []string
+	suppressed map[string]map[int]bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{
+		pass:       pass,
+		fns:        pass.ResultOf[ssaflow.Analyzer].(*ssaflow.Funcs),
+		sensitive:  make(map[*types.Func][]int),
+		sanitizers: make(map[*types.Func]bool),
+		decoders:   make(map[string]bool),
+		suppressed: make(map[string]map[int]bool),
+	}
+	for _, d := range strings.Split(decoders, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			c.decoders[d] = true
+		}
+	}
+	for _, p := range strings.Split(sinkpkgs, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			c.sinkPfx = append(c.sinkPfx, p)
+		}
+	}
+	for _, f := range pass.Files {
+		if lines := tags.SuppressedLines(pass.Fset, f, tags.TaintOK); lines != nil {
+			c.suppressed[pass.Fset.Position(f.Pos()).Filename] = lines
+		}
+	}
+
+	// Collect local sanitizers and export their facts.
+	for _, fn := range c.fns.All {
+		if fn.Decl != nil && fn.Obj != nil && tags.FuncMarked(fn.Decl, tags.Validates) {
+			c.sanitizers[fn.Obj] = true
+			pass.ExportObjectFact(fn.Obj, &sanitizerFact{})
+		}
+	}
+
+	// Phase A: iterate parameter-sensitivity summaries to a fixpoint
+	// over the package call graph (imported facts are stable inputs).
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range c.fns.All {
+			if fn.Obj == nil || fn.CFG == nil || c.sanitizers[fn.Obj] {
+				continue
+			}
+			params := c.summarize(fn)
+			if !equalInts(params, c.sensitive[fn.Obj]) {
+				c.sensitive[fn.Obj] = params
+				changed = true
+			}
+		}
+	}
+	for obj, params := range c.sensitive {
+		if len(params) > 0 {
+			pass.ExportObjectFact(obj, &sensitiveFact{Params: params})
+		}
+	}
+
+	// Phase B: report source-tainted sinks.
+	for _, fn := range c.fns.All {
+		if fn.CFG == nil {
+			continue
+		}
+		c.report(fn)
+	}
+	return nil, nil
+}
+
+// seed builds the entry state: parameters carry their param bit, and
+// *net/http.Request parameters are wire sources outright.
+func (c *checker) seed(fn *ssaflow.Fn, withSources bool) state {
+	s := make(state)
+	if fn.Decl == nil {
+		return s
+	}
+	i := 0
+	for _, field := range fn.Decl.Type.Params.List {
+		for _, name := range field.Names {
+			obj := c.pass.TypesInfo.Defs[name]
+			if obj == nil {
+				i++
+				continue
+			}
+			var m uint64
+			if i < 62 {
+				m = 1 << uint(i)
+			}
+			if withSources && isHTTPRequest(obj.Type()) {
+				m |= srcBit
+			}
+			if m != 0 {
+				s[obj] = m
+			}
+			i++
+		}
+	}
+	return s
+}
+
+func isHTTPRequest(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	return ok && n.Obj() != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "net/http" && n.Obj().Name() == "Request"
+}
+
+// summarize runs the taint analysis with parameter seeds only and
+// returns the parameter indices that reach a sink.
+func (c *checker) summarize(fn *ssaflow.Fn) []int {
+	var hit uint64
+	c.analyze(fn, false, func(pos token.Pos, m uint64, what string) {
+		hit |= m
+	})
+	var params []int
+	for i := 0; i < 62; i++ {
+		if hit&(1<<uint(i)) != 0 {
+			params = append(params, i)
+		}
+	}
+	return params
+}
+
+// report runs the taint analysis with source seeds and reports every
+// sink a source-derived mark reaches.
+func (c *checker) report(fn *ssaflow.Fn) {
+	c.analyze(fn, true, func(pos token.Pos, m uint64, what string) {
+		if m&srcBit == 0 {
+			return
+		}
+		p := c.pass.Fset.Position(pos)
+		if c.suppressed[p.Filename][p.Line] {
+			return
+		}
+		c.pass.Reportf(pos, "wire-tainted value reaches %s without passing a //tafloc:validates bounds check (see docs/INVARIANTS.md)", what)
+	})
+}
+
+// analyze runs the dataflow over fn's CFG, calling sink for every
+// sink an interesting mark reaches.
+func (c *checker) analyze(fn *ssaflow.Fn, withSources bool, sink func(pos token.Pos, m uint64, what string)) {
+	df := ssaflow.Dataflow[state]{
+		Clone: func(s state) state {
+			n := make(state, len(s))
+			for k, v := range s {
+				n[k] = v
+			}
+			return n
+		},
+		MergeInto: func(dst, src state) bool {
+			changed := false
+			for k, v := range src {
+				if dst[k]|v != dst[k] {
+					dst[k] |= v
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(n ast.Node, s state) state {
+			c.step(n, s, nil)
+			return s
+		},
+	}
+	states, seen := df.Run(fn.CFG, c.seed(fn, withSources))
+	df.Walk(fn.CFG, states, seen, func(n ast.Node, before state) {
+		held := df.Clone(before)
+		c.step(n, held, sink)
+	})
+}
+
+// step interprets one CFG node: sinks first (against the pre-state),
+// then decode-into effects, assignments and range bindings, then
+// comparison sanitization.
+func (c *checker) step(n ast.Node, s state, sink func(pos token.Pos, m uint64, what string)) {
+	if sink != nil {
+		c.findSinks(n, s, sink)
+	}
+
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			c.applyCallEffects(m, s)
+		case *ast.AssignStmt:
+			c.applyAssign(m, s)
+		case *ast.RangeStmt:
+			marks := c.eval(m.X, s)
+			for _, e := range []ast.Expr{m.Key, m.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					if obj := c.objOf(id); obj != nil {
+						if marks == 0 {
+							delete(s, obj)
+						} else {
+							s[obj] = marks
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			marks := uint64(0)
+			for _, v := range m.Values {
+				marks |= c.eval(v, s)
+			}
+			for _, name := range m.Names {
+				if obj := c.pass.TypesInfo.Defs[name]; obj != nil && marks != 0 {
+					s[obj] = marks
+				}
+			}
+		}
+		return true
+	})
+
+	// Comparisons sanitize: a value whose root object was compared
+	// with a relational or equality operator is considered
+	// bounds-checked from here on (field-insensitive, like the taint).
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		b, ok := m.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch b.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			for _, side := range []ast.Expr{b.X, b.Y} {
+				for _, obj := range c.roots(side) {
+					delete(s, obj)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// findSinks reports indexing and sensitive-call sinks in the node
+// against the current state.
+func (c *checker) findSinks(n ast.Node, s state, sink func(pos token.Pos, m uint64, what string)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IndexExpr:
+			if mk := c.eval(m.Index, s); mk != 0 && indexable(c.pass.TypesInfo.TypeOf(m.X)) {
+				sink(m.Index.Pos(), mk, "slice indexing")
+			}
+		case *ast.SliceExpr:
+			for _, b := range []ast.Expr{m.Low, m.High, m.Max} {
+				if b == nil {
+					continue
+				}
+				if mk := c.eval(b, s); mk != 0 {
+					sink(b.Pos(), mk, "slice bounds")
+				}
+			}
+		case *ast.CallExpr:
+			callee := ssaflow.StaticCallee(c.pass.TypesInfo, m)
+			if callee == nil {
+				return true
+			}
+			for _, i := range c.sensitiveParams(callee) {
+				if i >= len(m.Args) {
+					continue
+				}
+				if mk := c.eval(m.Args[i], s); mk != 0 {
+					sink(m.Args[i].Pos(), mk, fmt.Sprintf("call to %s (parameter %d is index-sensitive)", callee.Name(), i))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// applyCallEffects taints decode targets: json/gob decode-into
+// arguments and configured decoder-method receivers.
+func (c *checker) applyCallEffects(call *ast.CallExpr, s state) {
+	callee := ssaflow.StaticCallee(c.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	taintTarget := func(e ast.Expr) {
+		for _, obj := range c.roots(e) {
+			s[obj] |= srcBit | c.argMarks(call, s)
+		}
+	}
+	switch callee.FullName() {
+	case "encoding/json.Unmarshal":
+		if len(call.Args) == 2 {
+			taintTarget(call.Args[1])
+		}
+	case "(*encoding/json.Decoder).Decode", "(*encoding/gob.Decoder).Decode":
+		if len(call.Args) == 1 {
+			taintTarget(call.Args[0])
+		}
+	default:
+		if c.decoders[callee.Name()] && callee.Type().(*types.Signature).Recv() != nil {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				taintTarget(sel.X)
+			}
+		}
+	}
+}
+
+func (c *checker) argMarks(call *ast.CallExpr, s state) uint64 {
+	var m uint64
+	for _, a := range call.Args {
+		m |= c.eval(a, s)
+	}
+	return m
+}
+
+// applyAssign propagates marks through assignments with strong
+// updates: a clean right-hand side clears the target.
+func (c *checker) applyAssign(a *ast.AssignStmt, s state) {
+	if len(a.Rhs) == 1 && len(a.Lhs) > 1 {
+		marks := c.eval(a.Rhs[0], s)
+		for _, l := range a.Lhs {
+			c.assignTo(l, marks, a.Tok == token.ASSIGN || a.Tok == token.DEFINE, s)
+		}
+		return
+	}
+	for i, l := range a.Lhs {
+		if i < len(a.Rhs) {
+			marks := c.eval(a.Rhs[i], s)
+			if a.Tok != token.ASSIGN && a.Tok != token.DEFINE {
+				marks |= c.eval(l, s) // compound ops accumulate
+			}
+			c.assignTo(l, marks, a.Tok == token.ASSIGN || a.Tok == token.DEFINE, s)
+		}
+	}
+}
+
+func (c *checker) assignTo(l ast.Expr, marks uint64, strong bool, s state) {
+	roots := c.roots(l)
+	if len(roots) != 1 {
+		return
+	}
+	obj := roots[0]
+	if _, isIdent := ast.Unparen(l).(*ast.Ident); !isIdent {
+		// Writing through a field or element: weak update only (the
+		// rest of the root keeps its marks).
+		s[obj] |= marks
+		return
+	}
+	if marks == 0 && strong {
+		delete(s, obj)
+	} else if strong {
+		s[obj] = marks
+	} else {
+		s[obj] |= marks
+	}
+}
+
+// eval computes the taint marks of an expression.
+func (c *checker) eval(e ast.Expr, s state) uint64 {
+	switch e := e.(type) {
+	case nil:
+		return 0
+	case *ast.Ident:
+		if obj := c.objOf(e); obj != nil {
+			return s[obj]
+		}
+		return 0
+	case *ast.ParenExpr:
+		return c.eval(e.X, s)
+	case *ast.SelectorExpr:
+		return c.eval(e.X, s)
+	case *ast.IndexExpr:
+		return c.eval(e.X, s)
+	case *ast.SliceExpr:
+		return c.eval(e.X, s)
+	case *ast.StarExpr:
+		return c.eval(e.X, s)
+	case *ast.UnaryExpr:
+		return c.eval(e.X, s)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ,
+			token.LAND, token.LOR:
+			return 0 // booleans are not index material
+		}
+		return c.eval(e.X, s) | c.eval(e.Y, s)
+	case *ast.CompositeLit:
+		var m uint64
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				m |= c.eval(kv.Value, s)
+			} else {
+				m |= c.eval(el, s)
+			}
+		}
+		return m
+	case *ast.TypeAssertExpr:
+		return c.eval(e.X, s)
+	case *ast.CallExpr:
+		return c.evalCall(e, s)
+	}
+	return 0
+}
+
+func (c *checker) evalCall(call *ast.CallExpr, s state) uint64 {
+	// Conversions: T(x) keeps x's marks.
+	if fun := ast.Unparen(call.Fun); len(call.Args) == 1 {
+		if tv, ok := c.pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+			return c.eval(call.Args[0], s)
+		}
+	}
+	callee := ssaflow.StaticCallee(c.pass.TypesInfo, call)
+	if callee != nil && c.isSanitizer(callee) {
+		return 0
+	}
+	var m uint64
+	for _, a := range call.Args {
+		m |= c.eval(a, s)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		m |= c.eval(sel.X, s) // method receiver
+	}
+	if callee != nil && c.decoders[callee.Name()] {
+		m |= srcBit
+	}
+	return m
+}
+
+// isSanitizer reports whether the callee is //tafloc:validates marked
+// (locally or via fact). Calls to it return clean values.
+func (c *checker) isSanitizer(fn *types.Func) bool {
+	if c.sanitizers[fn] {
+		return true
+	}
+	var f sanitizerFact
+	return c.pass.ImportObjectFact(fn, &f)
+}
+
+// sinkCallee reports whether fn's package is inside the -sinkpkgs
+// prefix list, i.e. whether its sensitivity summary counts as a sink.
+func (c *checker) sinkCallee(fn *types.Func) bool {
+	if len(c.sinkPfx) == 0 {
+		return true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	for _, p := range c.sinkPfx {
+		if pkg.Path() == p || strings.HasPrefix(pkg.Path(), p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// sensitiveParams returns the callee's index-sensitive parameters
+// (local fixpoint summary or imported fact); sanitizers have none.
+func (c *checker) sensitiveParams(fn *types.Func) []int {
+	if !c.sinkCallee(fn) || c.isSanitizer(fn) {
+		return nil
+	}
+	if params, ok := c.sensitive[fn]; ok {
+		return params
+	}
+	var f sensitiveFact
+	if c.pass.ImportObjectFact(fn, &f) {
+		return f.Params
+	}
+	return nil
+}
+
+// roots returns the identifier objects anchoring an lvalue-ish
+// expression: x, x.f, x[i], *x, &x all root at x.
+func (c *checker) roots(e ast.Expr) []types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := c.objOf(e); obj != nil {
+			return []types.Object{obj}
+		}
+	case *ast.SelectorExpr:
+		return c.roots(e.X)
+	case *ast.IndexExpr:
+		return c.roots(e.X)
+	case *ast.SliceExpr:
+		return c.roots(e.X)
+	case *ast.StarExpr:
+		return c.roots(e.X)
+	case *ast.UnaryExpr:
+		return c.roots(e.X)
+	case *ast.CallExpr:
+		// len(y) != n sanitizes y.
+		if len(e.Args) == 1 {
+			return c.roots(e.Args[0])
+		}
+	}
+	return nil
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+		if _, ok := obj.(*types.Var); ok {
+			return obj
+		}
+		return nil
+	}
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		if _, ok := obj.(*types.Var); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// indexable limits index sinks to slices, arrays, and strings — map
+// lookups with tainted keys are not a bounds hazard.
+func indexable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Basic:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	}
+	return false
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

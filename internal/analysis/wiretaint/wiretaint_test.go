@@ -1,0 +1,15 @@
+package wiretaint
+
+import (
+	"testing"
+
+	"tafloc/internal/analysis/vettest"
+)
+
+func TestWiretaint(t *testing.T) {
+	// The fixture "module" is the core+a pair, not tafloc/...: widen
+	// the call-sink prefix list to match.
+	defer func(old string) { sinkpkgs = old }(sinkpkgs)
+	sinkpkgs = "core,a"
+	vettest.Run(t, "testdata", Analyzer, "core", "a")
+}

@@ -62,6 +62,7 @@ type System struct {
 	recon   *Reconstructor
 	matcher Matcher // resolved once at construction; never nil
 
+	//tafloc:lock-order 60 calibration writer lock; innermost — never wraps a serve-layer lock
 	calMu sync.Mutex // serializes calibration writers
 	//tafloc:atomic
 	model atomic.Pointer[Model]

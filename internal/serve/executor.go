@@ -47,6 +47,7 @@ type task struct {
 // locate entry can exist per zone, so its length is bounded by twice
 // the zone count.
 type executor struct {
+	//tafloc:lock-order 50 executor queue lock; nests inside the zone locks
 	mu     sync.Mutex
 	cond   sync.Cond
 	queue  []task

@@ -239,6 +239,8 @@ type zone struct {
 	// (never held on the steady-state hot path); lastTouch is the zone's
 	// logical LRU timestamp, written on every touch, scanned only when
 	// the service is over its hot cap.
+	//
+	//tafloc:lock-order 20 zone residency lock; nests inside Service.mu
 	resMu     sync.Mutex
 	lastTouch atomic.Int64
 
@@ -274,6 +276,8 @@ type zone struct {
 	// same freshness-over-completeness rule the watch streams follow).
 	// stopped is set by RemoveZone/UpdateZone/zone swap; tasks counts
 	// the in-flight tasks a lifecycle mutation must wait out.
+	//
+	//tafloc:lock-order 30 zone scheduler lock; nests inside resMu
 	schedMu  sync.Mutex
 	foldBusy bool
 	locBusy  bool
@@ -287,6 +291,8 @@ type zone struct {
 	// /history reads run on other goroutines, so the trio is guarded by
 	// its own mutex (taken after s.mu when both are held). All three are
 	// nil when the zone's history is disabled.
+	//
+	//tafloc:lock-order 40 zone trajectory lock; innermost of the zone locks
 	trackMu sync.Mutex
 	tracker *track.Tracker
 	hist    *ring[Estimate]
@@ -305,6 +311,7 @@ type Service struct {
 	cfg   Config
 	defZC zoneConfig // zone configuration for zones added with AddZone
 
+	//tafloc:lock-order 10 service-wide registry lock; outermost in every nesting
 	mu       sync.RWMutex // guards zones/order/watchers mutation and snapshot publication
 	zones    map[string]*zone
 	order    []string

@@ -11,9 +11,10 @@
 // (scripts/escapecheck/allowlist.txt). New escapes fail the audit; the
 // fix is to remove the allocation, annotate the line with a
 // justification, or — for a reviewed, deliberate escape — add an
-// allowlist entry in the same commit that introduces it. Stale
-// allowlist entries are reported so the list only ever shrinks to
-// match reality.
+// allowlist entry in the same commit that introduces it. Every entry
+// must carry a "| reason: ..." field saying why the escape is
+// acceptable; entries without one, and stale entries that no longer
+// match any escape, fail the audit so the list tracks reality exactly.
 //
 // Usage (from the module root; CI runs exactly this):
 //
@@ -33,6 +34,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"tafloc/internal/analysis/tags"
 )
 
 // auditPkgs are the package trees recompiled with -m. Keep in sync with
@@ -91,8 +94,8 @@ func runAudit() error {
 	}
 	var stale []string
 	for _, a := range allowed {
-		if !used[a] {
-			stale = append(stale, a)
+		if !used[a.matcher] {
+			stale = append(stale, a.matcher)
 		}
 	}
 
@@ -101,11 +104,15 @@ func runAudit() error {
 		for _, e := range bad {
 			fmt.Fprintf(os.Stderr, "  %s\n", e)
 		}
-		fmt.Fprintf(os.Stderr, "fix the allocation, annotate the line //tafloc:alloc-ok with a justification, or allowlist it in %s\n", allowlistPath)
+		fmt.Fprintf(os.Stderr, "fix the allocation, annotate the line //tafloc:alloc-ok with a justification, or allowlist it (with a reason) in %s\n", allowlistPath)
 		return fmt.Errorf("audit failed")
 	}
-	for _, a := range stale {
-		fmt.Fprintf(os.Stderr, "escapecheck: stale allowlist entry (matched nothing): %s\n", a)
+	if len(stale) > 0 {
+		for _, a := range stale {
+			fmt.Fprintf(os.Stderr, "escapecheck: stale allowlist entry (matched nothing): %s\n", a)
+		}
+		fmt.Fprintf(os.Stderr, "delete stale entries from %s — the list must track reality exactly\n", allowlistPath)
+		return fmt.Errorf("audit failed")
 	}
 	fmt.Printf("escapecheck: %d noalloc function(s) audited, no unreviewed heap escapes\n", len(spans))
 	return nil
@@ -135,6 +142,12 @@ func collectSpans() ([]span, map[string]bool, error) {
 			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 			if err != nil {
 				return err
+			}
+			// Same skip rules as the analyzer suite: generated files
+			// and files excluded by build constraints carry no
+			// enforceable annotations.
+			if tags.SkipFile(f) {
+				return nil
 			}
 			rel := filepath.ToSlash(path)
 			for _, cg := range f.Comments {
@@ -238,9 +251,18 @@ func filterEscapes(output string, spans []span, allocOK map[string]bool) []strin
 	return escapes
 }
 
+// entry is one reviewed escape: the matcher that identifies it and the
+// mandatory reason a reviewer recorded for accepting it.
+type entry struct {
+	matcher string // "file:func: message-substring"
+	reason  string
+}
+
 // readAllowlist loads non-blank, non-comment lines: each is
-// "file:func: message-substring", matched against rendered escapes.
-func readAllowlist(path string) ([]string, error) {
+// "file:func: message-substring | reason: why-this-is-acceptable".
+// Lines without a reason field fail the audit outright — an allowlist
+// entry with no recorded justification is unreviewable.
+func readAllowlist(path string) ([]entry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -248,13 +270,29 @@ func readAllowlist(path string) ([]string, error) {
 		}
 		return nil, err
 	}
-	var entries []string
+	var entries []entry
+	var missing []string
 	for _, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		entries = append(entries, line)
+		matcher, reason, ok := strings.Cut(line, "| reason:")
+		if !ok || strings.TrimSpace(reason) == "" {
+			missing = append(missing, line)
+			continue
+		}
+		entries = append(entries, entry{
+			matcher: strings.TrimSpace(matcher),
+			reason:  strings.TrimSpace(reason),
+		})
+	}
+	if len(missing) > 0 {
+		for _, line := range missing {
+			fmt.Fprintf(os.Stderr, "escapecheck: allowlist entry has no \"| reason:\" field: %s\n", line)
+		}
+		return nil, fmt.Errorf("%s: %d entr%s missing a reason", path, len(missing),
+			map[bool]string{true: "y is", false: "ies are"}[len(missing) == 1])
 	}
 	return entries, nil
 }
@@ -262,11 +300,11 @@ func readAllowlist(path string) ([]string, error) {
 // matchAllowlist matches an escape against the entries: an entry
 // "file:func: substring" matches when the escape is in that file and
 // function and its message contains the substring.
-func matchAllowlist(entries []string, escape string) (string, bool) {
+func matchAllowlist(entries []entry, escape string) (string, bool) {
 	for _, e := range entries {
-		fileFn, sub, ok := strings.Cut(e, ": ")
+		fileFn, sub, ok := strings.Cut(e.matcher, ": ")
 		if !ok {
-			fileFn, sub = e, ""
+			fileFn, sub = e.matcher, ""
 		}
 		file, fn, ok := strings.Cut(fileFn, ":")
 		if !ok {
@@ -274,7 +312,7 @@ func matchAllowlist(entries []string, escape string) (string, bool) {
 		}
 		if strings.HasPrefix(escape, file+":") && strings.Contains(escape, "["+fn+"]") &&
 			(sub == "" || strings.Contains(escape, sub)) {
-			return e, true
+			return e.matcher, true
 		}
 	}
 	return "", false
